@@ -1,0 +1,57 @@
+"""Ablation — the two pruning rules of Algorithm 1 (Section 5.3.1).
+
+Co-support pruning (iteration 1) and new-vertex pruning (iterations ≥ 2)
+are heuristics: they must cut candidate-pair evaluations substantially
+while losing (essentially) no revenue at θ ≤ 0.
+"""
+
+from repro.algorithms.matching_iterative import IterativeMatching
+from repro.data.synthetic import amazon_books_like
+from repro.data.wtp_mapping import wtp_from_ratings
+from repro.experiments import render_table
+from repro.experiments.defaults import default_engine
+
+
+def _run():
+    dataset = amazon_books_like(n_users=500, n_items=80, seed=0)
+    wtp = wtp_from_ratings(dataset)
+    rows = []
+    outcomes = {}
+    for co_support, new_vertex in ((True, True), (True, False), (False, True), (False, False)):
+        engine = default_engine(wtp)
+        engine.stats.reset()
+        result = IterativeMatching(
+            strategy="mixed",
+            co_support_pruning=co_support,
+            new_vertex_pruning=new_vertex,
+        ).fit(engine)
+        label = f"co_support={co_support}, new_vertex={new_vertex}"
+        outcomes[(co_support, new_vertex)] = (result, engine.stats.mixed_pricings)
+        rows.append(
+            [
+                label,
+                round(result.coverage * 100, 3),
+                engine.stats.mixed_pricings,
+                result.n_iterations,
+                round(result.wall_time, 3),
+            ]
+        )
+    return rows, outcomes
+
+
+def test_ablation_pruning(benchmark, archive):
+    rows, outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    archive(
+        "ablation_pruning",
+        render_table(
+            ["setting", "coverage %", "pair pricings", "iterations", "seconds"],
+            rows,
+            title="=== Ablation: Algorithm 1 pruning rules (mixed, theta=0) ===",
+        ),
+    )
+    full, full_ops = outcomes[(True, True)]
+    none, none_ops = outcomes[(False, False)]
+    # Pruning must reduce work ...
+    assert full_ops < none_ops
+    # ... and cost at most a sliver of revenue at theta = 0.
+    assert full.coverage >= none.coverage - 0.005

@@ -1,0 +1,42 @@
+"""Figure 1 — the stochastic adoption model (Equation 6).
+
+Shape targets: probability 0.5 at p = α·w; γ flattens (γ<1) or sharpens
+(γ>1) the curve; α shifts it left/right.
+"""
+
+import numpy as np
+
+from repro.core.adoption import SigmoidAdoption, StepAdoption
+from repro.experiments import figure1
+
+
+def test_fig1_adoption_model(benchmark, archive):
+    series = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    archive("fig1_adoption", series.render(precision=3))
+
+    prices = np.array(series.x_values)
+    mid = int(np.argmin(np.abs(prices - 10.0)))  # p == w
+    for name in ("gamma=0.1", "gamma=1.0", "gamma=10.0"):
+        curve = np.array(series.series[name])
+        assert abs(curve[mid] - 0.5) < 1e-6, f"{name}: P(w=p) must be 0.5"
+        assert np.all(np.diff(curve) <= 1e-12), f"{name}: P must fall with price"
+    # Larger gamma -> steeper curve (larger drop across the midpoint).
+    drops = {
+        name: series.series[name][mid - 2] - series.series[name][mid + 2]
+        for name in ("gamma=0.1", "gamma=1.0", "gamma=10.0")
+    }
+    assert drops["gamma=0.1"] < drops["gamma=1.0"] < drops["gamma=10.0"]
+    # alpha > 1 raises adoption probability at every price, alpha < 1 lowers it.
+    base = np.array(series.series["gamma=1.0"])
+    assert np.all(np.array(series.series["alpha=1.25"]) >= base - 1e-12)
+    assert np.all(np.array(series.series["alpha=0.75"]) <= base + 1e-12)
+    # The step model is the pointwise gamma -> infinity limit (away from
+    # the p = w boundary, where the sigmoid sits at exactly 0.5).
+    step = StepAdoption()
+    huge = SigmoidAdoption(gamma=1e9)
+    w = np.full(prices.size, 10.0)
+    off_boundary = np.abs(prices - 10.0) > 1e-9
+    assert np.allclose(
+        step.probability(w, prices)[off_boundary],
+        np.round(huge.probability(w, prices))[off_boundary],
+    )

@@ -1,0 +1,48 @@
+"""Figure 2 — revenue coverage and gain versus the bundling coefficient θ.
+
+Shape targets (paper, Section 6.2):
+* Components is unaffected by θ and is never above any bundling method;
+* Mixed Matching / Mixed Greedy lead at θ ≤ 0;
+* Pure methods degenerate toward Components as θ decreases, and surge past
+  everything as θ ≫ 0 (the seller extracts the complementarity premium);
+* the FreqItemset baselines trail our corresponding methods.
+"""
+
+import numpy as np
+
+from repro.data.synthetic import amazon_books_like
+from repro.data.wtp_mapping import wtp_from_ratings
+from repro.experiments import figure2
+from repro.experiments.figures import THETA_VALUES
+
+
+def _run():
+    dataset = amazon_books_like(n_users=600, n_items=100, seed=0)
+    return figure2(wtp=wtp_from_ratings(dataset))
+
+
+def test_fig2_theta(benchmark, archive):
+    series = benchmark.pedantic(_run, rounds=1, iterations=1)
+    archive("fig2_theta", series.render())
+
+    cov = {name: np.array(vals) for name, vals in series.series.items()
+           if not name.startswith("gain:")}
+    thetas = np.array(THETA_VALUES)
+
+    # Components is theta-invariant.
+    assert np.allclose(cov["components"], cov["components"][0], atol=1e-9)
+    # No bundling method ever loses to Components (they revert if beaten).
+    for name, values in cov.items():
+        assert np.all(values >= cov["components"] - 1e-9), name
+    # Mixed leads pure at theta <= 0.
+    negative = thetas <= 0
+    assert np.all(cov["mixed_matching"][negative] >= cov["pure_matching"][negative] - 1e-9)
+    # Pure surges at the largest positive theta and beats mixed there.
+    top = -1
+    assert cov["pure_matching"][top] > cov["mixed_matching"][top]
+    # Pure methods increase with theta.
+    assert cov["pure_matching"][-1] > cov["pure_matching"][0]
+    # Our methods beat the corresponding FreqItemset baselines at theta = 0.
+    at0 = int(np.argmin(np.abs(thetas)))
+    assert cov["mixed_matching"][at0] >= cov["mixed_freqitemset"][at0] - 1e-9
+    assert cov["pure_matching"][at0] >= cov["pure_freqitemset"][at0] - 1e-9

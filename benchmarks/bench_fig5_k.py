@@ -1,0 +1,37 @@
+"""Figure 5 — revenue versus the maximum bundle size k.
+
+Shape targets: k=1 equals Components exactly; k=2 starts to gain; revenue
+keeps growing for k ≥ 3 at a declining rate (the paper's motivation for
+heuristics beyond the optimal 2-sized solver).
+"""
+
+import numpy as np
+
+from repro.data.synthetic import amazon_books_like
+from repro.data.wtp_mapping import wtp_from_ratings
+from repro.experiments import figure5
+
+K_VALUES = (1, 2, 3, 4, 6, None)
+
+
+def _run():
+    dataset = amazon_books_like(n_users=600, n_items=100, seed=0)
+    return figure5(k_values=K_VALUES, wtp=wtp_from_ratings(dataset))
+
+
+def test_fig5_max_size(benchmark, archive):
+    series = benchmark.pedantic(_run, rounds=1, iterations=1)
+    archive("fig5_k", series.render())
+
+    components = np.array(series.series["components"])
+    for name in ("pure_matching", "pure_greedy", "mixed_matching", "mixed_greedy"):
+        curve = np.array(series.series[name])
+        # k = 1 is exactly Components.
+        assert abs(curve[0] - components[0]) < 1e-9, name
+        # Revenue is (weakly) monotone in k and strictly grows somewhere
+        # beyond k=2 — size-3+ bundles add revenue (the NP-hard regime).
+        assert np.all(np.diff(curve) >= -1e-9), name
+        assert curve[-1] >= curve[0]
+    assert np.array(series.series["mixed_matching"])[-1] > components[0]
+    mixed = np.array(series.series["mixed_matching"])
+    assert mixed[-1] > mixed[1] + 1e-12, "k>=3 must add revenue over k=2"

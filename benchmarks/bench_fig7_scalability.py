@@ -1,0 +1,44 @@
+"""Figure 7 — scalability in users (a) and items (b).
+
+Shape targets: runtime grows roughly *linearly* with the user clone factor
+(pricing is O(M)) and *polynomially* with the item count (straight lines
+in log-log space, slope ≲ 3).
+"""
+
+import numpy as np
+
+from repro.experiments import figure7_items, figure7_users
+
+METHODS = ("pure_matching", "pure_greedy", "mixed_matching", "mixed_greedy")
+
+
+def test_fig7a_users(benchmark, archive):
+    series = benchmark.pedantic(
+        lambda: figure7_users(factors=(1, 2, 3, 4), methods=METHODS),
+        rounds=1, iterations=1,
+    )
+    archive("fig7a_users", series.render())
+    # Only the mixed methods run long enough (seconds) for wall-clock
+    # trends to rise above scheduler noise; the pure methods finish in
+    # tens of milliseconds at this scale and are reported but not asserted.
+    for name in ("mixed_matching", "mixed_greedy"):
+        times = np.array(series.series[name])
+        # Clear growth with the user clone factor...
+        assert times[-1] > 2.0 * times[0], f"{name}: runtime must grow with users"
+        # ...but sub-quadratic overall: time(4x) well below 16x time(1x).
+        assert times[-1] < times[0] * 16.0, name
+
+
+def test_fig7b_items(benchmark, archive):
+    series = benchmark.pedantic(
+        lambda: figure7_items(item_counts=(30, 60, 120), n_users=400, methods=METHODS),
+        rounds=1, iterations=1,
+    )
+    archive("fig7b_items", series.render())
+    items = np.array(series.x_values, dtype=float)
+    for name in METHODS:
+        times = np.array(series.series[name])
+        assert np.all(np.diff(times) > 0), f"{name}: runtime must grow with items"
+        # Polynomial: log-log slope bounded by the analytical N^2.5-ish.
+        slope = np.polyfit(np.log(items), np.log(times), 1)[0]
+        assert slope < 4.0, f"{name}: log-log slope {slope:.2f} too steep"

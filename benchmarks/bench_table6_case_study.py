@@ -1,0 +1,32 @@
+"""Table 6 — the mixed-bundling case study, step by step.
+
+Exact targets (engineered dataset, see ``repro.data.toy``): individual
+prices 7.99/6.99/7.99 with 10/9/9 buyers; the (Two Little Lies, Born in
+Fire) bundle at 11.20 adds one brand-new buyer (+11.20); (Sands, Born in
+Fire) at 13.91 adds one upgrader (+5.92); (Sands, Two Little Lies) is not
+viable; the final size-3 bundle at 13.91 adds one upgrader (+5.92).
+"""
+
+from repro.experiments import paper_values, table6
+
+
+def test_table6_case_study(benchmark, archive):
+    result = benchmark.pedantic(table6, rounds=1, iterations=1)
+    archive("table6_case_study", result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    paper = {" / ".join(b): (p, buyers, rev, sel) for b, p, buyers, rev, sel in paper_values.TABLE6}
+
+    assert rows["The Sands of Time"][1:] == [7.99, 10, 79.90, True]
+    assert rows["Two Little Lies"][1:] == [6.99, 9, 62.91, True]
+    assert rows["Born in Fire"][1:] == [7.99, 9, 71.91, True]
+    pair = rows["(Two Little Lies, Born in Fire)"]
+    assert pair[1:] == [11.20, 1, 11.20, True]
+    other = rows["(The Sands of Time, Born in Fire)"]
+    assert other[1:] == [13.91, 1, 5.92, False]
+    triple = rows["(The Sands of Time, Two Little Lies, Born in Fire)"]
+    assert triple[1:] == [13.91, 1, 5.92, True]
+    # Every selected row matches the paper's selection.
+    for title, (price, buyers, revenue, selected) in paper.items():
+        if "/" not in title:
+            assert rows[title][4] == selected

@@ -1,0 +1,63 @@
+"""Pure bundling for information goods: a cable-TV channel lineup.
+
+The paper motivates pure bundling with cable television (Section 3.2):
+a provider partitions many channels into a few non-overlapping packages,
+and for information goods bundles "can grow very large".  This example
+builds a synthetic channel-viewership dataset (genres = channel themes:
+sports, movies, news, ...), mines WTP from watch-propensity "ratings",
+and compares channel-by-channel sales against pure bundle packages at
+several bundling coefficients θ — complementary channels (θ > 0) are
+where pure bundling shines.
+
+Run:  python examples/cable_tv_bundles.py
+"""
+
+from repro import (
+    Components,
+    IterativeMatching,
+    RevenueEngine,
+    generate_ratings,
+    wtp_from_ratings,
+)
+
+
+def main() -> None:
+    # 48 channels in 6 themes; viewers watch a handful of themes heavily.
+    # Prices: channel subscription price points.
+    viewers = generate_ratings(
+        n_users=500,
+        n_items=48,
+        avg_ratings_per_user=14,
+        min_ratings_per_user=6,
+        n_genres=6,
+        genre_concentration=0.2,
+        price_buckets=((2.0, 6.0, 0.7), (6.0, 12.0, 0.3)),
+        seed=42,
+    ).kcore(5)
+    wtp = wtp_from_ratings(viewers, conversion=1.25)
+    print(f"lineup: {viewers.n_items} channels, {viewers.n_users} subscribers")
+
+    print(f"\n{'theta':>6} | {'a la carte':>12} | {'pure bundles':>12} | "
+          f"{'gain':>7} | packages")
+    print("-" * 70)
+    for theta in (0.0, 0.1, 0.25):
+        engine = RevenueEngine(wtp, theta=theta)
+        alacarte = Components().fit(engine)
+        packages = IterativeMatching(strategy="pure").fit(engine)
+        sizes = packages.configuration.size_histogram()
+        gain = packages.gain_over(alacarte.expected_revenue)
+        print(f"{theta:6.2f} | {alacarte.expected_revenue:12.0f} | "
+              f"{packages.expected_revenue:12.0f} | {gain:6.1%} | {sizes}")
+
+    # At strong complementarity, show the package lineup in detail.
+    engine = RevenueEngine(wtp, theta=0.25)
+    packages = IterativeMatching(strategy="pure").fit(engine)
+    print("\npackages at theta=0.25 (top 5 by revenue):")
+    top = sorted(packages.configuration.offers, key=lambda o: -o.revenue)[:5]
+    for offer in top:
+        print(f"  {offer.bundle.size:2d} channels @ {offer.price:7.2f} -> "
+              f"revenue {offer.revenue:9.0f} ({offer.buyers:.0f} subscribers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Non-monetary bundling: a Data-as-a-Service marketplace.
+
+The paper notes (Section 1) that the framework only assumes an *additive
+utility*: a DaaS provider can bundle correlated datasets — "a hotel list
+and a review database" — where the utility is user satisfaction rather
+than dollars.  This example treats analyst teams as "consumers", datasets
+as "items", and mined engagement scores as utility, then explores:
+
+* which dataset bundles a provider should offer (mixed bundling);
+* how the stochastic adoption model (Equation 6) changes the picture when
+  subscription decisions are noisy (low γ);
+* the seller-welfare trade-off via the generalized objective
+  ``α·profit + (1−α)·surplus`` (Section 1's utility function).
+
+Run:  python examples/data_marketplace.py
+"""
+
+import numpy as np
+
+from repro import (
+    Components,
+    IterativeMatching,
+    Objective,
+    RevenueEngine,
+    SigmoidAdoption,
+    generate_ratings,
+    wtp_from_ratings,
+)
+
+
+def main() -> None:
+    # 30 datasets in 5 domains (finance, geo, retail, ...), 250 teams.
+    catalogue = generate_ratings(
+        n_users=250,
+        n_items=30,
+        avg_ratings_per_user=9,
+        min_ratings_per_user=4,
+        n_genres=5,
+        price_buckets=((50.0, 200.0, 0.8), (200.0, 500.0, 0.2)),
+        seed=11,
+    ).kcore(4)
+    utility = wtp_from_ratings(catalogue, conversion=1.5)
+    print(f"marketplace: {catalogue.n_items} datasets, {catalogue.n_users} teams")
+
+    # Deterministic adopters (the step-function convention).
+    engine = RevenueEngine(utility)
+    base = Components().fit(engine)
+    mixed = IterativeMatching(strategy="mixed").fit(engine)
+    print(f"\nper-dataset subscriptions: {base.expected_revenue:12.0f}")
+    print(f"with dataset bundles:      {mixed.expected_revenue:12.0f} "
+          f"({mixed.gain_over(base.expected_revenue):+.2%})")
+
+    # Noisy adoption: teams' procurement decisions are uncertain (gamma<1).
+    print("\nadoption uncertainty (Equation 6):")
+    print(f"{'gamma':>8} | {'expected revenue':>16} | {'bundling gain':>13}")
+    for gamma in (0.05, 0.2, 1.0):
+        noisy = RevenueEngine(utility, adoption=SigmoidAdoption(gamma=gamma))
+        noisy_base = Components().fit(noisy)
+        noisy_mixed = IterativeMatching(strategy="mixed").fit(noisy)
+        gain = noisy_mixed.gain_over(noisy_base.expected_revenue)
+        print(f"{gamma:8.2f} | {noisy_mixed.expected_revenue:16.0f} | {gain:12.2%}")
+    print("(bundling hedges adoption uncertainty: the gain shrinks as gamma grows)")
+
+    # Welfare-aware pricing: weight consumer surplus into the objective.
+    print("\nseller objective alpha*profit + (1-alpha)*surplus:")
+    print(f"{'alpha':>6} | {'revenue':>10} | {'mean price':>10}")
+    for weight in (1.0, 0.7, 0.4):
+        welfare = RevenueEngine(utility, objective=Objective(profit_weight=weight))
+        run = Components().fit(welfare)
+        mean_price = np.mean([o.price for o in run.configuration.offers if o.price > 0])
+        print(f"{weight:6.1f} | {run.expected_revenue:10.0f} | {mean_price:10.1f}")
+    print("(lower alpha -> lower prices -> more surplus left to consumers)")
+
+
+if __name__ == "__main__":
+    main()

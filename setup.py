@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip's legacy editable path needs a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

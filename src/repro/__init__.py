@@ -1,0 +1,120 @@
+"""repro — reproduction of "Mining Revenue-Maximizing Bundling Configuration".
+
+Do, Lauw & Wang, PVLDB 8(5):593-604, 2015.
+
+The library mines willingness to pay (WTP) from ratings data and finds the
+bundle configuration — a grouping of items into priced bundles — that
+maximizes expected revenue.  Quick tour::
+
+    from repro import (
+        RevenueEngine, IterativeMatching, Components,
+        amazon_books_like, wtp_from_ratings,
+    )
+
+    dataset = amazon_books_like(n_users=400, n_items=60, seed=0)
+    engine = RevenueEngine(wtp_from_ratings(dataset, conversion=1.25))
+    baseline = Components().fit(engine)
+    bundled = IterativeMatching(strategy="mixed").fit(engine)
+    print(bundled.coverage, bundled.gain_over(baseline.expected_revenue))
+
+Subpackages
+-----------
+``repro.core``
+    WTP matrix, adoption models (Eq. 6), pricing (Sec. 4.2), revenue engine,
+    consumer choice, configurations, evaluation metrics.
+``repro.algorithms``
+    Components, optimal 2-sized matching (Sec. 5.1), Algorithm 1 and 2
+    heuristics (Sec. 5.3), frequent-itemset baselines, weighted-set-packing
+    comparators (Sec. 5.2).
+``repro.matching`` / ``repro.fim`` / ``repro.ilp``
+    From-scratch substrates: Edmonds blossom matching, Apriori/Eclat/MAFIA
+    miners, exact set-packing solvers.
+``repro.data``
+    Ratings containers, the calibrated synthetic Amazon-Books generator,
+    the ratings→WTP mapping (Sec. 6.1.1), toy paper examples.
+``repro.experiments``
+    Regeneration of every table and figure in the paper's evaluation.
+"""
+
+from repro.algorithms import (
+    BASELINE_METHODS,
+    PAPER_METHODS,
+    BundlingAlgorithm,
+    BundlingResult,
+    Components,
+    ComponentsListPrice,
+    FreqItemsetBundling,
+    GreedyMerge,
+    GreedyWSP,
+    IterativeMatching,
+    Optimal2Bundling,
+    OptimalWSP,
+    algorithm_names,
+    make_algorithm,
+)
+from repro.core import (
+    Bundle,
+    EvaluationReport,
+    MixedConfiguration,
+    Objective,
+    PriceGrid,
+    PricedBundle,
+    PureConfiguration,
+    RevenueEngine,
+    SigmoidAdoption,
+    StepAdoption,
+    WTPMatrix,
+    evaluate,
+    revenue_gain,
+)
+from repro.data import (
+    RatingsDataset,
+    amazon_books_like,
+    generate_ratings,
+    list_price_revenue,
+    table1_wtp,
+    table6_wtp,
+    wtp_from_ratings,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE_METHODS",
+    "Bundle",
+    "BundlingAlgorithm",
+    "BundlingResult",
+    "Components",
+    "ComponentsListPrice",
+    "EvaluationReport",
+    "FreqItemsetBundling",
+    "GreedyMerge",
+    "GreedyWSP",
+    "IterativeMatching",
+    "MixedConfiguration",
+    "Objective",
+    "Optimal2Bundling",
+    "OptimalWSP",
+    "PAPER_METHODS",
+    "PriceGrid",
+    "PricedBundle",
+    "PureConfiguration",
+    "RatingsDataset",
+    "ReproError",
+    "RevenueEngine",
+    "SigmoidAdoption",
+    "StepAdoption",
+    "WTPMatrix",
+    "algorithm_names",
+    "amazon_books_like",
+    "evaluate",
+    "generate_ratings",
+    "list_price_revenue",
+    "make_algorithm",
+    "revenue_gain",
+    "table1_wtp",
+    "table6_wtp",
+    "wtp_from_ratings",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Bundle-configuration algorithms: the paper's methods and all baselines."""
+
+from repro.algorithms.base import (
+    MIXED,
+    PURE,
+    STRATEGIES,
+    BundlingAlgorithm,
+    BundlingResult,
+    IterationRecord,
+)
+from repro.algorithms.components import Components, ComponentsListPrice
+from repro.algorithms.freqitemset import DEFAULT_MINSUP, FreqItemsetBundling
+from repro.algorithms.greedy import GreedyMerge
+from repro.algorithms.matching2 import Optimal2Bundling
+from repro.algorithms.matching_iterative import IterativeMatching
+from repro.algorithms.registry import (
+    BASELINE_METHODS,
+    PAPER_METHODS,
+    algorithm_names,
+    make_algorithm,
+)
+from repro.algorithms.setpacking import (
+    GreedyWSP,
+    OptimalWSP,
+    enumerate_bundle_revenues,
+)
+
+__all__ = [
+    "BASELINE_METHODS",
+    "BundlingAlgorithm",
+    "BundlingResult",
+    "Components",
+    "ComponentsListPrice",
+    "DEFAULT_MINSUP",
+    "FreqItemsetBundling",
+    "GreedyMerge",
+    "GreedyWSP",
+    "IterationRecord",
+    "IterativeMatching",
+    "MIXED",
+    "Optimal2Bundling",
+    "OptimalWSP",
+    "PAPER_METHODS",
+    "PURE",
+    "STRATEGIES",
+    "algorithm_names",
+    "enumerate_bundle_revenues",
+    "make_algorithm",
+]

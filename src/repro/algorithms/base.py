@@ -1,0 +1,109 @@
+"""Common interface for bundle-configuration algorithms.
+
+Every algorithm consumes a :class:`~repro.core.revenue.RevenueEngine` and
+produces a :class:`BundlingResult` holding the configuration, its evaluated
+expected revenue and coverage, a per-iteration trace (the raw material of
+the paper's Figure 6), and wall-clock timing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.evaluation import evaluate, revenue_gain
+from repro.core.revenue import RevenueEngine
+from repro.errors import ValidationError
+from repro.utils.timer import Timer
+
+PURE = "pure"
+MIXED = "mixed"
+STRATEGIES = (PURE, MIXED)
+
+
+def check_strategy(strategy: str) -> str:
+    if strategy not in STRATEGIES:
+        raise ValidationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    return strategy
+
+
+def check_max_size(k: int | None) -> int | None:
+    """Validate the k-sized constraint; ``None`` means unbounded (Table 3)."""
+    if k is None:
+        return None
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ValidationError(f"k must be a positive int or None, got {k!r}")
+    return k
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One iteration of an iterative algorithm (one point of Figure 6)."""
+
+    index: int
+    revenue: float
+    elapsed: float
+    n_top_bundles: int
+    merges: int
+
+
+@dataclass
+class BundlingResult:
+    """Outcome of one algorithm run."""
+
+    algorithm: str
+    strategy: str
+    configuration: PureConfiguration | MixedConfiguration
+    expected_revenue: float
+    coverage: float
+    trace: list[IterationRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def gain_over(self, components_revenue: float) -> float:
+        """Revenue gain versus the Components baseline (Section 6.1.2)."""
+        return revenue_gain(self.expected_revenue, components_revenue)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.trace)
+
+    def __repr__(self) -> str:
+        return (
+            f"BundlingResult({self.algorithm}/{self.strategy}, "
+            f"revenue={self.expected_revenue:.2f}, coverage={self.coverage:.1%}, "
+            f"iterations={self.n_iterations}, time={self.wall_time:.3f}s)"
+        )
+
+
+class BundlingAlgorithm(ABC):
+    """Base class: ``fit(engine)`` returns a :class:`BundlingResult`."""
+
+    name: str = "abstract"
+    strategy: str = PURE
+
+    @abstractmethod
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        """Run the algorithm against *engine* and return the result."""
+
+    def _finalize(
+        self,
+        engine: RevenueEngine,
+        configuration: PureConfiguration | MixedConfiguration,
+        trace: list[IterationRecord],
+        timer: Timer,
+        extra: dict | None = None,
+    ) -> BundlingResult:
+        """Evaluate the configuration and assemble the result record."""
+        report = evaluate(configuration, engine, n_runs=0)
+        return BundlingResult(
+            algorithm=self.name,
+            strategy=self.strategy,
+            configuration=configuration,
+            expected_revenue=report.expected_revenue,
+            coverage=report.coverage,
+            trace=trace,
+            wall_time=timer.elapsed,
+            extra=extra or {},
+        )

@@ -1,0 +1,65 @@
+"""The Components (no-bundling) baselines of Section 6.1.3.
+
+* :class:`Components` — every item sold individually at its revenue-optimal
+  price (the stronger baseline the paper compares against).
+* :class:`ComponentsListPrice` — every item sold at an externally supplied
+  list price ("Amazon's pricing" in Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import PURE, BundlingAlgorithm, BundlingResult
+from repro.core.bundle import Bundle
+from repro.core.configuration import PureConfiguration
+from repro.core.pricing import PricedBundle
+from repro.core.revenue import RevenueEngine
+from repro.errors import ValidationError
+from repro.utils.timer import Timer
+
+
+class Components(BundlingAlgorithm):
+    """Sell every item individually at its optimal price."""
+
+    name = "components"
+    strategy = PURE
+
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        with Timer() as timer:
+            offers = engine.price_components()
+            configuration = PureConfiguration(offers, engine.n_items)
+        return self._finalize(engine, configuration, [], timer)
+
+
+class ComponentsListPrice(BundlingAlgorithm):
+    """Sell every item individually at a given list price.
+
+    ``prices`` must hold one positive price per item.  The expected revenue
+    uses the engine's adoption model at those prices, so Table 2's
+    comparison between optimal and list pricing is apples to apples.
+    """
+
+    name = "components_list_price"
+    strategy = PURE
+
+    def __init__(self, prices) -> None:
+        self.prices = np.asarray(prices, dtype=np.float64)
+        if self.prices.ndim != 1 or np.any(self.prices <= 0):
+            raise ValidationError("prices must be a 1-D positive array")
+
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        if self.prices.size != engine.n_items:
+            raise ValidationError(
+                f"got {self.prices.size} prices for {engine.n_items} items"
+            )
+        with Timer() as timer:
+            offers = []
+            for item in range(engine.n_items):
+                bundle = Bundle.singleton(item)
+                price = float(self.prices[item])
+                probs = engine.adoption.probability(engine.bundle_wtp(bundle), price)
+                buyers = float(probs.sum())
+                offers.append(PricedBundle(bundle, price, price * buyers, buyers))
+            configuration = PureConfiguration(offers, engine.n_items)
+        return self._finalize(engine, configuration, [], timer)

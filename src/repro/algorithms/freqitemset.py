@@ -1,0 +1,115 @@
+"""Frequent-itemset bundling baselines (Section 6.1.3).
+
+The paper simulates Amazon's "Frequently Bought Together" device: treat
+each consumer as a transaction over the items she has positive WTP for,
+mine maximal frequent itemsets (MAFIA), and greedily assemble a bundle
+configuration from them — repeatedly picking the itemset with the highest
+absolute revenue gain over its components, discarding overlapping
+candidates, until all items are covered (individual items are always
+available as candidates regardless of support, which favours the
+baseline).
+
+``Pure FreqItemset`` replaces the components by the chosen bundles;
+``Mixed FreqItemset`` offers the chosen bundles alongside all components.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    PURE,
+    BundlingAlgorithm,
+    BundlingResult,
+    IterationRecord,
+    check_max_size,
+    check_strategy,
+)
+from repro.core.bundle import Bundle
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.pricing import PricedBundle
+from repro.core.revenue import RevenueEngine
+from repro.errors import ValidationError
+from repro.fim.mafia import maximal_frequent_itemsets
+from repro.fim.transactions import TransactionDatabase
+from repro.utils.timer import Timer
+
+#: The paper found 0.1% minsup best on 4,449 users (density ≈0.5%); the
+#: denser scaled-down defaults need a larger relative support both for
+#: comparable candidate counts and for mining tractability.
+DEFAULT_MINSUP = 0.05
+
+
+class FreqItemsetBundling(BundlingAlgorithm):
+    """Pure/Mixed FreqItemset baselines backed by the MAFIA miner."""
+
+    def __init__(
+        self,
+        strategy: str = PURE,
+        minsup: float = DEFAULT_MINSUP,
+        k: int | None = None,
+    ) -> None:
+        self.strategy = check_strategy(strategy)
+        if not 0 < minsup <= 1:
+            raise ValidationError(f"minsup must lie in (0, 1], got {minsup}")
+        self.minsup = minsup
+        self.k = check_max_size(k)
+        self.name = f"{self.strategy}_freqitemset"
+
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        with Timer() as timer:
+            db = TransactionDatabase.from_wtp(engine.wtp)
+            itemsets = maximal_frequent_itemsets(db, self.minsup, max_len=self.k)
+            candidates = [Bundle(itemset) for itemset in itemsets if len(itemset) >= 2]
+            singles = engine.price_components()
+
+            if self.strategy == PURE:
+                configuration, merges = self._fit_pure(engine, singles, candidates)
+            else:
+                configuration, merges = self._fit_mixed(engine, singles, candidates)
+        trace = [
+            IterationRecord(
+                index=1,
+                revenue=0.0,
+                elapsed=timer.elapsed,
+                n_top_bundles=len(configuration.offers),
+                merges=merges,
+            )
+        ]
+        result = self._finalize(engine, configuration, trace, timer)
+        result.extra["n_candidates"] = len(candidates)
+        return result
+
+    def _fit_pure(self, engine, singles, candidates):
+        priced = engine.price_bundles(candidates)
+        scored = []
+        for offer in priced:
+            components_revenue = sum(singles[i].revenue for i in offer.bundle)
+            gain = offer.revenue - components_revenue
+            if gain > 0:
+                scored.append((gain, offer))
+        scored.sort(key=lambda entry: (-entry[0], entry[1].bundle.items))
+        covered: set[int] = set()
+        chosen: list[PricedBundle] = []
+        for _gain, offer in scored:
+            if covered.isdisjoint(offer.bundle.items):
+                chosen.append(offer)
+                covered.update(offer.bundle.items)
+        offers = chosen + [singles[i] for i in range(engine.n_items) if i not in covered]
+        return PureConfiguration(offers, engine.n_items), len(chosen)
+
+    def _fit_mixed(self, engine, singles, candidates):
+        scored = []
+        for bundle in candidates:
+            merge = engine.mixed_bundle_gain(bundle, [singles[i] for i in bundle])
+            if merge.feasible and merge.gain > 0:
+                subtree = sum(singles[i].revenue for i in bundle) + merge.gain
+                offer = PricedBundle(bundle, merge.price, subtree, merge.upgraded)
+                scored.append((merge.gain, offer))
+        scored.sort(key=lambda entry: (-entry[0], entry[1].bundle.items))
+        covered: set[int] = set()
+        chosen: list[PricedBundle] = []
+        for _gain, offer in scored:
+            if covered.isdisjoint(offer.bundle.items):
+                chosen.append(offer)
+                covered.update(offer.bundle.items)
+        offers = list(singles) + chosen
+        return MixedConfiguration(offers, engine.n_items), len(chosen)

@@ -1,0 +1,171 @@
+"""Algorithm 2: the greedy merge heuristic for k-sized bundling.
+
+Where Algorithm 1 optimizes globally per iteration, the greedy algorithm
+performs one merge per iteration: the pair of current bundles with the
+highest absolute revenue gain.  The freshly merged bundle immediately
+competes in the next iteration.  The run stops at the paper's natural
+stopping condition — no remaining positive-gain merge.
+
+Candidate gains live in a lazy max-heap: entries referencing replaced
+bundles are discarded on pop, so each merge costs O(B log B) heap work
+plus O(B) new gain evaluations (B = live bundles), matching the
+O(M·N² + N² log N) analysis of Section 5.3.2.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.algorithms.base import (
+    PURE,
+    BundlingAlgorithm,
+    BundlingResult,
+    IterationRecord,
+    check_max_size,
+    check_strategy,
+)
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.pricing import PricedBundle
+from repro.core.revenue import RevenueEngine
+from repro.utils.timer import Timer
+
+
+class GreedyMerge(BundlingAlgorithm):
+    """The paper's greedy heuristic (Algorithm 2)."""
+
+    def __init__(
+        self,
+        strategy: str = PURE,
+        k: int | None = None,
+        co_support_pruning: bool = True,
+    ) -> None:
+        self.strategy = check_strategy(strategy)
+        self.k = check_max_size(k)
+        self.co_support_pruning = co_support_pruning
+        self.name = f"{self.strategy}_greedy"
+
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        with Timer() as timer:
+            singles = engine.price_components()
+            live: dict[int, PricedBundle] = dict(enumerate(singles))
+            mixed = self.strategy != PURE
+            states: dict[int, object] = (
+                {index: engine.offer_state(offer) for index, offer in live.items()}
+                if mixed
+                else {}
+            )
+            support = {
+                index: engine.raw_wtp(offer.bundle) > 0 for index, offer in live.items()
+            }
+            next_id = itertools.count(len(singles))
+            retained: list[PricedBundle] = []
+            revenue_estimate = sum(offer.revenue for offer in singles)
+            trace: list[IterationRecord] = []
+            heap: list[tuple[float, int, int, int, object]] = []
+            sequence = itertools.count()
+
+            initial_pairs = self._initial_pairs(engine, singles)
+            self._push_gains(
+                engine, heap, sequence, live, states, [(i, j) for i, j in initial_pairs]
+            )
+
+            iteration = 0
+            while heap:
+                neg_gain, _seq, id1, id2, payload = heapq.heappop(heap)
+                if id1 not in live or id2 not in live:
+                    continue  # stale entry referencing a replaced bundle
+                gain = -neg_gain
+                if gain <= 0:
+                    break
+                iteration += 1
+                first, second = live.pop(id1), live.pop(id2)
+                if self.strategy == PURE:
+                    offer: PricedBundle = payload  # the re-priced merged bundle
+                else:
+                    merge = payload
+                    offer = PricedBundle(
+                        merge.bundle,
+                        merge.price,
+                        first.revenue + second.revenue + merge.gain,
+                        merge.upgraded,
+                    )
+                    retained.append(first)
+                    retained.append(second)
+                new_id = next(next_id)
+                live[new_id] = offer
+                if mixed:
+                    base = states.pop(id1) + states.pop(id2)
+                    states[new_id] = engine.merged_mixed_state(merge, base)
+                new_support = support.pop(id1) | support.pop(id2)
+                support[new_id] = new_support
+                revenue_estimate += gain
+                trace.append(
+                    IterationRecord(
+                        index=iteration,
+                        revenue=revenue_estimate,
+                        elapsed=timer.lap(),
+                        n_top_bundles=len(live),
+                        merges=1,
+                    )
+                )
+
+                # New candidate pairs: the fresh bundle against every live one.
+                partners = []
+                for other_id, other in live.items():
+                    if other_id == new_id:
+                        continue
+                    if self.k is not None and offer.size + other.size > self.k:
+                        continue
+                    if self.co_support_pruning and not np.any(
+                        new_support & support[other_id]
+                    ):
+                        continue
+                    partners.append(other_id)
+                self._push_gains(
+                    engine, heap, sequence, live, states, [(new_id, oid) for oid in partners]
+                )
+
+            offers = list(live.values())
+            if self.strategy == PURE:
+                configuration = PureConfiguration(offers, engine.n_items)
+            else:
+                configuration = MixedConfiguration(offers + retained, engine.n_items)
+        return self._finalize(engine, configuration, trace, timer)
+
+    # ------------------------------------------------------------------ util
+    def _initial_pairs(self, engine: RevenueEngine, singles) -> list[tuple[int, int]]:
+        bundles = [offer.bundle for offer in singles]
+        if self.co_support_pruning:
+            pairs = engine.co_supported_pairs(bundles)
+        else:
+            pairs = [
+                (i, j) for i in range(len(bundles)) for j in range(i + 1, len(bundles))
+            ]
+        if self.k is not None:
+            pairs = [(i, j) for (i, j) in pairs if bundles[i].size + bundles[j].size <= self.k]
+        return pairs
+
+    def _push_gains(self, engine, heap, sequence, live, states, id_pairs) -> None:
+        """Evaluate gains for bundle-id pairs and push positive ones."""
+        if not id_pairs:
+            return
+        ids = sorted({identifier for pair in id_pairs for identifier in pair})
+        position = {identifier: pos for pos, identifier in enumerate(ids)}
+        priced = [live[identifier] for identifier in ids]
+        index_pairs = [(position[a], position[b]) for a, b in id_pairs]
+        if self.strategy == PURE:
+            gains, merged = engine.pure_merge_gains(priced, index_pairs)
+            for (id1, id2), gain, offer in zip(id_pairs, gains, merged):
+                if gain > 0:
+                    heapq.heappush(heap, (-float(gain), next(sequence), id1, id2, offer))
+                else:
+                    engine.drop_cached([offer.bundle])
+        else:
+            pair_states = [states[identifier] for identifier in ids]
+            merges = engine.mixed_merge_gains(priced, pair_states, index_pairs)
+            for (id1, id2), merge in zip(id_pairs, merges):
+                if merge.feasible and merge.gain > 0:
+                    heapq.heappush(heap, (-merge.gain, next(sequence), id1, id2, merge))

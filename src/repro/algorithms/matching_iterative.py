@@ -1,0 +1,193 @@
+"""Algorithm 1: the matching-based heuristic for k-sized bundling.
+
+Each iteration treats the current bundles as vertices, weighs candidate
+merges by revenue gain, finds a maximum-weight matching, and collapses
+every matched pair into a new bundle.  Iterations continue until no
+positive-gain merge is selected or every bundle has reached the size cap.
+
+Two pruning rules from Section 5.3.1 are applied (and can be disabled for
+ablation):
+
+* **co-support pruning** (iteration 1): only pairs with at least one
+  consumer valuing both sides are candidates;
+* **new-vertex pruning** (iterations ≥ 2): only edges touching a bundle
+  formed in the previous iteration are introduced — edges the matching
+  rejected once are never revisited.
+
+Pure and mixed variants differ only in how a merge is priced (standalone
+re-pricing versus the incremental mixed policy) and in that the mixed
+variant retains replaced bundles as live offers (the paper's ``X'_I``).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    PURE,
+    BundlingAlgorithm,
+    BundlingResult,
+    IterationRecord,
+    check_max_size,
+    check_strategy,
+)
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.pricing import PricedBundle
+from repro.core.revenue import RevenueEngine
+from repro.matching.backends import solve_matching
+from repro.utils.timer import Timer
+
+
+class IterativeMatching(BundlingAlgorithm):
+    """The paper's matching-based heuristic (Algorithm 1).
+
+    Parameters
+    ----------
+    strategy:
+        ``"pure"`` or ``"mixed"``.
+    k:
+        Maximum bundle size (``None`` = unbounded, the Table 3 default).
+    backend:
+        Matching backend (see :mod:`repro.matching.backends`).
+    co_support_pruning, new_vertex_pruning:
+        The two pruning rules; on by default, switchable for ablations.
+    max_iterations:
+        Optional hard iteration cap (useful for revenue-vs-time traces).
+    """
+
+    def __init__(
+        self,
+        strategy: str = PURE,
+        k: int | None = None,
+        backend: str = "blossom",
+        co_support_pruning: bool = True,
+        new_vertex_pruning: bool = True,
+        max_iterations: int | None = None,
+    ) -> None:
+        self.strategy = check_strategy(strategy)
+        self.k = check_max_size(k)
+        self.backend = backend
+        self.co_support_pruning = co_support_pruning
+        self.new_vertex_pruning = new_vertex_pruning
+        self.max_iterations = max_iterations
+        self.name = f"{self.strategy}_matching"
+
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        with Timer() as timer:
+            current: list[PricedBundle] = list(engine.price_components())
+            is_new = [True] * len(current)
+            mixed = self.strategy != PURE
+            states = [engine.offer_state(offer) for offer in current] if mixed else []
+            retained: list[PricedBundle] = []
+            revenue_estimate = sum(offer.revenue for offer in current)
+            trace: list[IterationRecord] = []
+            iteration = 0
+
+            while True:
+                iteration += 1
+                if self.max_iterations is not None and iteration > self.max_iterations:
+                    break
+                pairs = self._candidate_pairs(engine, current, is_new, iteration)
+                if not pairs:
+                    break
+
+                gain_of: dict[tuple[int, int], float] = {}
+                offer_of: dict[tuple[int, int], PricedBundle] = {}
+                edges = []
+                if self.strategy == PURE:
+                    gains, merged = engine.pure_merge_gains(current, pairs)
+                    for index, pair in enumerate(pairs):
+                        if gains[index] > 0:
+                            gain_of[pair] = float(gains[index])
+                            offer_of[pair] = merged[index]
+                            edges.append((pair[0], pair[1], gains[index]))
+                else:
+                    merges = engine.mixed_merge_gains(current, states, pairs)
+                    merge_of = dict(zip(pairs, merges))
+                    for pair, merge in zip(pairs, merges):
+                        if merge.feasible and merge.gain > 0:
+                            gain_of[pair] = merge.gain
+                            subtree = (
+                                current[pair[0]].revenue
+                                + current[pair[1]].revenue
+                                + merge.gain
+                            )
+                            offer_of[pair] = PricedBundle(
+                                merge.bundle, merge.price, subtree, merge.upgraded
+                            )
+                            edges.append((pair[0], pair[1], merge.gain))
+                if not edges:
+                    break
+
+                matched = solve_matching(edges, backend=self.backend)
+                total_gain = sum(gain_of[pair] for pair in matched)
+                if not matched or total_gain <= 0:
+                    break
+
+                taken = {index for pair in matched for index in pair}
+                next_current: list[PricedBundle] = []
+                next_new: list[bool] = []
+                next_states: list = []
+                for index, offer in enumerate(current):
+                    if index not in taken:
+                        next_current.append(offer)
+                        next_new.append(False)
+                        if mixed:
+                            next_states.append(states[index])
+                for pair in sorted(matched):
+                    next_current.append(offer_of[pair])
+                    next_new.append(True)
+                    if mixed:
+                        retained.append(current[pair[0]])
+                        retained.append(current[pair[1]])
+                        base = states[pair[0]] + states[pair[1]]
+                        next_states.append(engine.merged_mixed_state(merge_of[pair], base))
+                # Unselected merge candidates will not be revisited: release
+                # their cached pricing to keep memory flat across iterations.
+                engine.drop_cached(
+                    offer.bundle
+                    for pair, offer in offer_of.items()
+                    if pair not in matched
+                )
+
+                revenue_estimate += total_gain
+                current = next_current
+                is_new = next_new
+                if mixed:
+                    states = next_states
+                trace.append(
+                    IterationRecord(
+                        index=iteration,
+                        revenue=revenue_estimate,
+                        elapsed=timer.lap(),
+                        n_top_bundles=len(current),
+                        merges=len(matched),
+                    )
+                )
+
+            if self.strategy == PURE:
+                configuration = PureConfiguration(current, engine.n_items)
+            else:
+                configuration = MixedConfiguration(current + retained, engine.n_items)
+        return self._finalize(engine, configuration, trace, timer)
+
+    def _candidate_pairs(
+        self,
+        engine: RevenueEngine,
+        current: list[PricedBundle],
+        is_new: list[bool],
+        iteration: int,
+    ) -> list[tuple[int, int]]:
+        """Candidate merge pairs after size cap and the two pruning rules."""
+        bundles = [offer.bundle for offer in current]
+        if self.co_support_pruning:
+            pairs = engine.co_supported_pairs(bundles)
+        else:
+            pairs = [
+                (i, j) for i in range(len(bundles)) for j in range(i + 1, len(bundles))
+            ]
+        if self.k is not None:
+            pairs = [
+                (i, j) for (i, j) in pairs if bundles[i].size + bundles[j].size <= self.k
+            ]
+        if self.new_vertex_pruning and iteration > 1:
+            pairs = [(i, j) for (i, j) in pairs if is_new[i] or is_new[j]]
+        return pairs

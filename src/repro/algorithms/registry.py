@@ -1,0 +1,52 @@
+"""Name-based algorithm factory.
+
+The experiment harness refers to algorithms by the names the paper uses in
+its figures — ``"pure_matching"``, ``"mixed_greedy"``, and so on.  This
+registry maps those names to constructors.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import MIXED, PURE, BundlingAlgorithm
+from repro.algorithms.components import Components
+from repro.algorithms.freqitemset import FreqItemsetBundling
+from repro.algorithms.greedy import GreedyMerge
+from repro.algorithms.matching2 import Optimal2Bundling
+from repro.algorithms.matching_iterative import IterativeMatching
+from repro.algorithms.setpacking import GreedyWSP, OptimalWSP
+from repro.errors import ValidationError
+
+_FACTORIES = {
+    "components": lambda **kw: Components(),
+    "pure_matching": lambda **kw: IterativeMatching(strategy=PURE, **kw),
+    "mixed_matching": lambda **kw: IterativeMatching(strategy=MIXED, **kw),
+    "pure_greedy": lambda **kw: GreedyMerge(strategy=PURE, **kw),
+    "mixed_greedy": lambda **kw: GreedyMerge(strategy=MIXED, **kw),
+    "pure_matching2": lambda **kw: Optimal2Bundling(strategy=PURE, **kw),
+    "mixed_matching2": lambda **kw: Optimal2Bundling(strategy=MIXED, **kw),
+    "pure_freqitemset": lambda **kw: FreqItemsetBundling(strategy=PURE, **kw),
+    "mixed_freqitemset": lambda **kw: FreqItemsetBundling(strategy=MIXED, **kw),
+    "optimal_wsp": lambda **kw: OptimalWSP(**kw),
+    "greedy_wsp": lambda **kw: GreedyWSP(**kw),
+}
+
+#: The four algorithms the paper proposes (Section 6.1.3, "Our Methods").
+PAPER_METHODS = ("pure_matching", "pure_greedy", "mixed_matching", "mixed_greedy")
+
+#: The bundling baselines.
+BASELINE_METHODS = ("pure_freqitemset", "mixed_freqitemset")
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """All registered algorithm names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_algorithm(name: str, **kwargs) -> BundlingAlgorithm:
+    """Instantiate an algorithm by its registry name."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValidationError(
+            f"unknown algorithm {name!r}; available: {', '.join(algorithm_names())}"
+        )
+    return factory(**kwargs)

@@ -1,0 +1,226 @@
+"""Weighted-set-packing solvers for pure bundling (Sections 5.2 and 6.4).
+
+These are the comparators of Table 4/5: enumerate *all* candidate bundles
+(every non-empty subset of the items — 2^N − 1 of them), compute each
+bundle's standalone revenue, then solve the resulting weighted set packing
+
+* exactly — :class:`OptimalWSP`, via the subset DP (guaranteed) or the
+  branch-and-bound ILP stand-in; or
+* approximately — :class:`GreedyWSP`, the √N-factor greedy of Chandra &
+  Halldórsson that repeatedly takes the set with the highest average
+  weight per item.
+
+The paper stresses that the enumeration step alone costs O(M·2^N) and
+reports it separately from solving; both times land in ``result.extra``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    PURE,
+    BundlingAlgorithm,
+    BundlingResult,
+    IterationRecord,
+    check_max_size,
+)
+from repro.core.bundle import Bundle
+from repro.core.configuration import PureConfiguration
+from repro.core.pricing import PricedBundle, price_pure_batch
+from repro.core.revenue import RevenueEngine
+from repro.errors import SolverError, ValidationError
+from repro.ilp.branch_and_bound import solve_branch_and_bound, solve_greedy
+from repro.ilp.dp import optimal_partition
+from repro.ilp.model import SetPackingProblem, mask_to_items
+from repro.utils.timer import Timer
+
+#: 2^22 bundle enumerations is ~45 s and ~GBs of pricing work — refuse more.
+MAX_ENUM_ITEMS = 22
+
+
+def enumerate_bundle_revenues(
+    engine: RevenueEngine,
+    max_size: int | None = None,
+    chunk: int = 1024,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Standalone revenue of every non-empty item subset.
+
+    Returns ``(revenues, prices, buyers)`` arrays of length ``2^N`` indexed
+    by bundle bitmask (index 0 unused).  Bundles larger than *max_size*
+    get −inf revenue.  This is the O(M·2^N) enumeration step the paper
+    reports separately in Section 6.4.
+    """
+    n = engine.n_items
+    if n > MAX_ENUM_ITEMS:
+        raise ValidationError(
+            f"subset enumeration supports at most {MAX_ENUM_ITEMS} items, got {n}"
+        )
+    size = 1 << n
+    values = engine.wtp.values  # (M, N)
+    revenues = np.full(size, -np.inf)
+    prices = np.zeros(size)
+    buyers = np.zeros(size)
+    revenues[0] = 0.0
+
+    masks = np.arange(size, dtype=np.int64)
+    popcounts = np.zeros(size, dtype=np.int64)
+    for bit in range(n):
+        popcounts += (masks >> bit) & 1
+
+    bits = ((masks[:, None] >> np.arange(n)[None, :]) & 1).astype(np.float64)  # (2^N, N)
+    for start in range(1, size, chunk):
+        stop = min(start + chunk, size)
+        block = np.arange(start, stop)
+        if max_size is not None:
+            block = block[popcounts[start:stop] <= max_size]
+            if block.size == 0:
+                continue
+        columns = values @ bits[block].T  # (M, B) raw bundle WTP
+        scale = np.where(popcounts[block] >= 2, 1.0 + engine.theta, 1.0)
+        columns *= scale[None, :]
+        p, r, b = price_pure_batch(columns, engine.adoption, engine.grid)
+        revenues[block] = r
+        prices[block] = p
+        buyers[block] = b
+    return revenues, prices, buyers
+
+
+def _configuration_from_masks(
+    engine: RevenueEngine,
+    masks: list[int],
+    prices: np.ndarray,
+    revenues: np.ndarray,
+    buyers: np.ndarray,
+) -> PureConfiguration:
+    """Build a priced configuration from chosen masks + filler singletons."""
+    covered = 0
+    offers: list[PricedBundle] = []
+    for mask in masks:
+        covered |= mask
+        bundle = Bundle(mask_to_items(mask))
+        offers.append(
+            PricedBundle(
+                bundle,
+                float(prices[mask]),
+                float(max(revenues[mask], 0.0)),
+                float(buyers[mask]),
+            )
+        )
+    for item in range(engine.n_items):
+        if not covered & (1 << item):
+            mask = 1 << item
+            offers.append(
+                PricedBundle(
+                    Bundle.singleton(item),
+                    float(prices[mask]),
+                    float(max(revenues[mask], 0.0)),
+                    float(buyers[mask]),
+                )
+            )
+    return PureConfiguration(offers, engine.n_items)
+
+
+class OptimalWSP(BundlingAlgorithm):
+    """Exact pure bundling over the full candidate universe.
+
+    ``method="dp"`` uses the Θ(3^N) subset DP (always terminates for the
+    supported N); ``method="bnb"`` uses the branch-and-bound ILP stand-in,
+    which like the paper's Gurobi run may exhaust resources — it raises
+    :class:`~repro.errors.SolverError` at its node limit.
+    """
+
+    strategy = PURE
+
+    def __init__(
+        self, method: str = "dp", k: int | None = None, node_limit: int = 20_000_000
+    ) -> None:
+        if method not in ("dp", "bnb"):
+            raise ValidationError(f"method must be 'dp' or 'bnb', got {method!r}")
+        self.method = method
+        self.k = check_max_size(k)
+        self.node_limit = node_limit
+        self.name = f"optimal_wsp_{method}"
+
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        with Timer() as timer:
+            with Timer() as enum_timer:
+                revenues, prices, buyers = enumerate_bundle_revenues(engine, self.k)
+            with Timer() as solve_timer:
+                if self.method == "dp":
+                    clipped = np.where(np.isfinite(revenues), np.maximum(revenues, 0.0), -np.inf)
+                    clipped[0] = 0.0
+                    masks, _value = optimal_partition(clipped, engine.n_items, self.k)
+                    nodes = 0
+                else:
+                    masks, nodes = self._solve_bnb(engine.n_items, revenues)
+            configuration = _configuration_from_masks(engine, masks, prices, revenues, buyers)
+        trace = [
+            IterationRecord(1, configuration.expected_revenue, timer.elapsed, len(masks), 0)
+        ]
+        result = self._finalize(engine, configuration, trace, timer)
+        result.extra.update(
+            enumeration_time=enum_timer.elapsed,
+            solve_time=solve_timer.elapsed,
+            nodes_explored=nodes,
+        )
+        return result
+
+    def _solve_bnb(self, n_items: int, revenues: np.ndarray) -> tuple[list[int], int]:
+        candidate_masks = [
+            mask
+            for mask in range(1, 1 << n_items)
+            if np.isfinite(revenues[mask]) and revenues[mask] > 0
+        ]
+        if not candidate_masks:
+            return [], 0
+        problem = SetPackingProblem(
+            n_items=n_items,
+            masks=tuple(candidate_masks),
+            weights=tuple(float(revenues[mask]) for mask in candidate_masks),
+        )
+        try:
+            solution = solve_branch_and_bound(problem, node_limit=self.node_limit)
+        except SolverError as error:
+            raise SolverError(
+                f"branch-and-bound did not finish for N={n_items}: {error} "
+                "(the paper's ILP likewise failed at N=25)"
+            ) from error
+        return [candidate_masks[index] for index in solution.chosen], solution.nodes_explored
+
+
+class GreedyWSP(BundlingAlgorithm):
+    """Greedy weighted set packing with the known √N approximation bound."""
+
+    strategy = PURE
+    name = "greedy_wsp"
+
+    def __init__(self, k: int | None = None) -> None:
+        self.k = check_max_size(k)
+
+    def fit(self, engine: RevenueEngine) -> BundlingResult:
+        with Timer() as timer:
+            with Timer() as enum_timer:
+                revenues, prices, buyers = enumerate_bundle_revenues(engine, self.k)
+            with Timer() as solve_timer:
+                candidate_masks = [
+                    mask
+                    for mask in range(1, 1 << engine.n_items)
+                    if np.isfinite(revenues[mask]) and revenues[mask] > 0
+                ]
+                problem = SetPackingProblem(
+                    n_items=engine.n_items,
+                    masks=tuple(candidate_masks),
+                    weights=tuple(float(revenues[mask]) for mask in candidate_masks),
+                )
+                solution = solve_greedy(problem)
+                masks = [candidate_masks[index] for index in solution.chosen]
+            configuration = _configuration_from_masks(engine, masks, prices, revenues, buyers)
+        trace = [
+            IterationRecord(1, configuration.expected_revenue, timer.elapsed, len(masks), 0)
+        ]
+        result = self._finalize(engine, configuration, trace, timer)
+        result.extra.update(
+            enumeration_time=enum_timer.elapsed, solve_time=solve_timer.elapsed
+        )
+        return result

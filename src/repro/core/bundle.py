@@ -1,0 +1,165 @@
+"""Immutable bundles of items.
+
+A *bundle* (paper, Section 3) is a non-empty set of item indices.  Bundles are
+the unit every algorithm manipulates: configurations are collections of
+bundles, prices attach to bundles, and willingness to pay is defined per
+bundle via Equation 1.
+
+:class:`Bundle` is a thin immutable wrapper around a sorted tuple of item
+indices.  It is hashable (usable as a cache key), supports set algebra, and
+renders compactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ValidationError
+
+
+class Bundle:
+    """An immutable, non-empty set of item indices.
+
+    Items are arbitrary non-negative integers (column indices into the WTP
+    matrix).  Two bundles are equal iff they contain the same items.
+
+    >>> Bundle([2, 0]) == Bundle.of(0, 2)
+    True
+    >>> (Bundle.of(0) | Bundle.of(1)).items
+    (0, 1)
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[int]) -> None:
+        unique = sorted(set(items))
+        if not unique:
+            raise ValidationError("a bundle must contain at least one item")
+        for item in unique:
+            if isinstance(item, bool) or not isinstance(item, (int,)):
+                raise ValidationError(f"bundle items must be ints, got {item!r}")
+            if item < 0:
+                raise ValidationError(f"bundle items must be >= 0, got {item}")
+        self._items: tuple[int, ...] = tuple(int(item) for item in unique)
+        self._hash = hash(self._items)
+
+    @classmethod
+    def of(cls, *items: int) -> "Bundle":
+        """Build a bundle from item arguments: ``Bundle.of(1, 5, 2)``."""
+        return cls(items)
+
+    @classmethod
+    def singleton(cls, item: int) -> "Bundle":
+        """Build a size-1 bundle for *item*."""
+        return cls((item,))
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """The items, as a sorted tuple."""
+        return self._items
+
+    @property
+    def size(self) -> int:
+        """Number of items in the bundle (``|b|`` in the paper)."""
+        return len(self._items)
+
+    def is_singleton(self) -> bool:
+        """True for size-1 bundles, which represent individual components."""
+        return len(self._items) == 1
+
+    def union(self, other: "Bundle") -> "Bundle":
+        """The merged bundle ``self ∪ other``."""
+        return Bundle(self._items + other._items)
+
+    def intersects(self, other: "Bundle") -> bool:
+        """True if the bundles share at least one item."""
+        mine = set(self._items)
+        return any(item in mine for item in other._items)
+
+    def issubset(self, other: "Bundle") -> bool:
+        """True if every item of *self* belongs to *other*."""
+        theirs = set(other._items)
+        return all(item in theirs for item in self._items)
+
+    def isdisjoint(self, other: "Bundle") -> bool:
+        """True if the bundles share no item."""
+        return not self.intersects(other)
+
+    def __or__(self, other: "Bundle") -> "Bundle":
+        return self.union(other)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bundle):
+            return NotImplemented
+        return self._items == other._items
+
+    def __lt__(self, other: "Bundle") -> bool:
+        # Deterministic ordering (by item tuple) so sorted() over bundles
+        # is stable across runs; not a subset relation.
+        if not isinstance(other, Bundle):
+            return NotImplemented
+        return self._items < other._items
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(item) for item in self._items)
+        return f"Bundle({{{inner}}})"
+
+
+def validate_partition(bundles: Iterable[Bundle], n_items: int) -> None:
+    """Check Problem 1's structural conditions for a pure configuration.
+
+    The bundles must be pairwise disjoint and their union must be exactly
+    ``{0, ..., n_items - 1}``.  Raises :class:`ValidationError` otherwise.
+    """
+    seen: set[int] = set()
+    for bundle in bundles:
+        for item in bundle:
+            if item in seen:
+                raise ValidationError(f"item {item} appears in more than one bundle")
+            if item >= n_items:
+                raise ValidationError(f"item {item} is out of range for n_items={n_items}")
+            seen.add(item)
+    if len(seen) != n_items:
+        missing = sorted(set(range(n_items)) - seen)
+        raise ValidationError(f"items not covered by any bundle: {missing[:10]}")
+
+
+def validate_laminar(bundles: Iterable[Bundle], n_items: int) -> None:
+    """Check Problem 2's structural conditions for a mixed configuration.
+
+    Any two bundles must be either disjoint or nested (a laminar family),
+    and the union must cover ``{0, ..., n_items - 1}``.
+    """
+    bundle_list = list(bundles)
+    covered: set[int] = set()
+    for bundle in bundle_list:
+        for item in bundle:
+            if item >= n_items:
+                raise ValidationError(f"item {item} is out of range for n_items={n_items}")
+            covered.add(item)
+    if len(covered) != n_items:
+        missing = sorted(set(range(n_items)) - covered)
+        raise ValidationError(f"items not covered by any bundle: {missing[:10]}")
+    for i, first in enumerate(bundle_list):
+        for second in bundle_list[i + 1 :]:
+            if first == second:
+                raise ValidationError(f"duplicate bundle in configuration: {first}")
+            if first.intersects(second) and not (
+                first.issubset(second) or second.issubset(first)
+            ):
+                raise ValidationError(
+                    f"bundles {first} and {second} overlap without nesting "
+                    "(violates the mixed-bundling laminarity condition)"
+                )

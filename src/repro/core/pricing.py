@@ -1,0 +1,476 @@
+"""Price search for a single bundle (paper, Section 4.2).
+
+The seller works with a *price list* of ``T`` discretized levels.  For a
+bundle with willingness-to-pay vector ``w`` the expected revenue at price
+``p`` is ``p · Σ_u P(adopt | p, w_u)`` (Equations 2 and 5); the optimal price
+is found by scanning the levels, which costs O(M) per bundle.
+
+Two pricing problems are solved here:
+
+* **Pure pricing** (:func:`price_pure`, :func:`price_pure_batch`) — the
+  bundle is offered alone, so its price is independent of everything else.
+* **Mixed bundle pricing** (:func:`price_mixed_bundle`,
+  :func:`price_mixed_bundle_batch`) — a bundle ``b = b1 ∪ b2`` is offered
+  *in addition to* its components, whose prices are already fixed (the
+  paper's incremental policy).  The bundle price is constrained to the open
+  interval ``(max(p1, p2), p1 + p2)`` (the usual mixed-bundling constraints
+  of Guiltinan [18]) and is chosen to maximize the *additional* expected
+  revenue over the covered offers' choice state, under the consumer-choice
+  model of :mod:`repro.core.choice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adoption import AdoptionModel, StepAdoption
+from repro.core.bundle import Bundle
+from repro.errors import PricingError, ValidationError
+from repro.utils.validation import check_positive_int
+
+#: Paper default (Section 4.2): "For experiments, we use 100 buckets".
+DEFAULT_PRICE_LEVELS = 100
+
+#: Relative tolerance for "willingness to pay >= price level" comparisons.
+#: Ratings-derived WTP values coincide exactly with grid levels (e.g. the
+#: rating-4 class sits at level 80 of 100), and linspace arithmetic is off
+#: by an ulp — without a tolerance whole rating classes drop a bucket and
+#: revenue jumps discontinuously across otherwise-equivalent inputs.
+LEVEL_RTOL = 1e-9
+
+
+class PriceGrid:
+    """Candidate price levels for the optimal-price scan.
+
+    Modes
+    -----
+    ``"linspace"`` (paper's setting):
+        ``T`` equi-spaced levels covering ``(0, max effective WTP]``.
+    ``"exact"``:
+        Every distinct positive effective-WTP value is a candidate.  Under
+        the step adoption model this is provably optimal (the revenue curve
+        only changes at WTP values); used as a reference in tests.
+    Explicit ``levels``:
+        An arbitrary ascending price list, e.g. psychological price points.
+    """
+
+    def __init__(
+        self,
+        n_levels: int = DEFAULT_PRICE_LEVELS,
+        mode: str = "linspace",
+        levels=None,
+    ) -> None:
+        if levels is not None:
+            array = np.asarray(levels, dtype=np.float64)
+            if array.ndim != 1 or array.size == 0:
+                raise ValidationError("explicit price levels must be a non-empty 1-D array")
+            if np.any(array <= 0) or not np.all(np.isfinite(array)):
+                raise ValidationError("explicit price levels must be finite and positive")
+            if np.any(np.diff(array) <= 0):
+                raise ValidationError("explicit price levels must be strictly ascending")
+            self._explicit: np.ndarray | None = array.copy()
+            self.mode = "explicit"
+            self.n_levels = int(array.size)
+            return
+        if mode not in ("linspace", "exact"):
+            raise ValidationError(f"unknown price grid mode: {mode!r}")
+        self._explicit = None
+        self.mode = mode
+        self.n_levels = check_positive_int(n_levels, "n_levels")
+
+    def candidates(self, effective_wtp: np.ndarray) -> np.ndarray:
+        """Ascending candidate prices for a bundle with this effective WTP."""
+        if self._explicit is not None:
+            return self._explicit
+        values = np.asarray(effective_wtp, dtype=np.float64)
+        positive = values[values > 0]
+        if positive.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if self.mode == "exact":
+            return np.unique(positive)
+        top = float(positive.max())
+        return np.linspace(top / self.n_levels, top, self.n_levels)
+
+    def __repr__(self) -> str:
+        if self._explicit is not None:
+            return f"PriceGrid(levels=<{self.n_levels} explicit>)"
+        return f"PriceGrid(n_levels={self.n_levels}, mode={self.mode!r})"
+
+
+@dataclass(frozen=True)
+class PricedBundle:
+    """A bundle with its revenue-maximizing price (Equation 2).
+
+    ``revenue`` and ``buyers`` are expectations under the adoption model;
+    with :class:`~repro.core.adoption.StepAdoption` they are exact counts.
+    """
+
+    bundle: Bundle
+    price: float
+    revenue: float
+    buyers: float
+
+    @property
+    def size(self) -> int:
+        return self.bundle.size
+
+    def __repr__(self) -> str:
+        return (
+            f"PricedBundle({self.bundle!r}, price={self.price:.4f}, "
+            f"revenue={self.revenue:.4f}, buyers={self.buyers:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class MixedMerge:
+    """Result of pricing ``b1 ∪ b2`` offered alongside ``b1`` and ``b2``.
+
+    ``gain`` is the expected *additional* revenue over the components-only
+    offer; ``upgraded`` the expected number of consumers choosing the new
+    bundle.  ``feasible`` is False when the Guiltinan price interval
+    contains no grid level or the bundle attracts nobody.
+    """
+
+    bundle: Bundle
+    price: float
+    gain: float
+    upgraded: float
+    feasible: bool
+
+
+# --------------------------------------------------------------------- pure
+def _expected_buyers(effective: np.ndarray, levels: np.ndarray, adoption: AdoptionModel) -> np.ndarray:
+    """Expected adopter counts at each level, for one bundle.
+
+    ``effective`` holds per-user ``α·w + ε`` values so the adoption decision
+    is simply a comparison against the price.
+    """
+    if adoption.is_deterministic:
+        order = np.sort(effective)
+        compare = levels - LEVEL_RTOL * (1.0 + np.abs(levels))
+        return effective.size - np.searchsorted(order, compare, side="left")
+    # Equation 6 exactly: σ(γ(effective − p)) summed over users.
+    gamma = getattr(adoption, "gamma", 1.0)
+    z = np.clip(gamma * (effective[None, :] - levels[:, None]), -500.0, 500.0)
+    return (1.0 / (1.0 + np.exp(-z))).sum(axis=1)
+
+
+def price_pure(
+    wtp: np.ndarray,
+    adoption: AdoptionModel | None = None,
+    grid: PriceGrid | None = None,
+    bundle: Bundle | None = None,
+) -> PricedBundle:
+    """Revenue-maximizing price for a bundle offered on its own.
+
+    Returns a :class:`PricedBundle`; a bundle nobody values gets price and
+    revenue 0.  Ties in revenue break toward the lower price (more buyers,
+    more consumer surplus, same revenue).
+    """
+    adoption = adoption or StepAdoption()
+    grid = grid or PriceGrid()
+    wtp = np.asarray(wtp, dtype=np.float64)
+    if wtp.ndim != 1:
+        raise ValidationError(f"wtp must be 1-D, got shape {wtp.shape}")
+    placeholder = bundle if bundle is not None else Bundle.of(0)
+    # Zero-WTP consumers are outside the bundle's market (see adoption docs).
+    wtp = wtp[wtp > 0]
+    if wtp.size == 0:
+        return PricedBundle(placeholder, 0.0, 0.0, 0.0)
+    effective = adoption.alpha * wtp + adoption.epsilon
+    levels = grid.candidates(effective)
+    if levels.size == 0:
+        return PricedBundle(placeholder, 0.0, 0.0, 0.0)
+    buyers = _expected_buyers(effective, levels, adoption)
+    revenue = levels * buyers
+    best = int(np.argmax(revenue))  # argmax returns the first (lowest) level on ties
+    if revenue[best] <= 0:
+        return PricedBundle(placeholder, 0.0, 0.0, 0.0)
+    return PricedBundle(placeholder, float(levels[best]), float(revenue[best]), float(buyers[best]))
+
+
+def price_pure_batch(
+    wtp_columns: np.ndarray,
+    adoption: AdoptionModel | None = None,
+    grid: PriceGrid | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`price_pure` over the columns of an ``(M, B)`` array.
+
+    Returns ``(prices, revenues, buyers)`` arrays of length ``B``.  This is
+    the hot path of the configuration algorithms: one call prices every
+    candidate pair of an iteration.
+
+    For the deterministic model the scan uses a per-column histogram of
+    effective WTP over the grid (O(M + T) per column, fully vectorized).
+    For the sigmoid model it uses the paper's own consumer-bucketing device
+    (Section 4.2): users are bucketed by effective WTP, and because bucket
+    centres and price levels share one linear grid, only ``2T−1`` sigmoid
+    evaluations are needed per column.
+    """
+    adoption = adoption or StepAdoption()
+    grid = grid or PriceGrid()
+    columns = np.asarray(wtp_columns, dtype=np.float64)
+    if columns.ndim != 2:
+        raise ValidationError(f"wtp_columns must be 2-D, got shape {columns.shape}")
+    n_users, n_bundles = columns.shape
+    if grid.mode == "explicit":
+        # Rare path: price each column against the fixed list.
+        results = [price_pure(columns[:, j], adoption, grid) for j in range(n_bundles)]
+        return (
+            np.array([r.price for r in results]),
+            np.array([r.revenue for r in results]),
+            np.array([r.buyers for r in results]),
+        )
+    if grid.mode == "exact":
+        return _price_exact_batch(columns, adoption)
+
+    effective = adoption.alpha * columns + adoption.epsilon
+    tops = effective.max(axis=0)
+    n_levels = grid.n_levels
+    prices = np.zeros(n_bundles)
+    revenues = np.zeros(n_bundles)
+    buyers_out = np.zeros(n_bundles)
+    live = tops > 0
+    if not np.any(live):
+        return prices, revenues, buyers_out
+
+    eff_live = effective[:, live]
+    tops_live = tops[live]
+    step = tops_live / n_levels  # level t (1-based) sits at t * step
+    # Bucket users: level index such that user adopts at levels <= idx.
+    # The tolerance keeps WTP values that sit exactly on a level (common
+    # with ratings-derived WTP) in the bucket they belong to.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        idx = np.floor(eff_live / step[None, :] + 1e-6).astype(np.int64)
+    np.clip(idx, 0, n_levels, out=idx)
+
+    if adoption.is_deterministic:
+        # buyers at level t = #users with effective >= t*step = #users with idx >= t.
+        hist = np.zeros((n_levels + 1, idx.shape[1]), dtype=np.float64)
+        cols = np.broadcast_to(np.arange(idx.shape[1]), idx.shape)
+        np.add.at(hist, (idx.ravel(), cols.ravel()), 1.0)
+        from_top = np.cumsum(hist[::-1, :], axis=0)[::-1, :]
+        buyers_levels = from_top[1:, :]  # level t (1-based) -> count idx >= t
+        levels = step[None, :] * np.arange(1, n_levels + 1)[:, None]
+        revenue_levels = levels * buyers_levels
+    else:
+        gamma = getattr(adoption, "gamma", 1.0)
+        levels = step[None, :] * np.arange(1, n_levels + 1)[:, None]
+        buyers_levels = _sigmoid_buyers_exact(
+            columns[:, live], eff_live, levels, gamma
+        )
+        revenue_levels = levels * buyers_levels
+
+    best = np.argmax(revenue_levels, axis=0)
+    take = np.arange(best.size)
+    best_rev = revenue_levels[best, take]
+    best_price = levels[best, take]
+    best_buyers = buyers_levels[best, take]
+    positive = best_rev > 0
+    live_indices = np.flatnonzero(live)
+    prices[live_indices[positive]] = best_price[positive]
+    revenues[live_indices[positive]] = best_rev[positive]
+    buyers_out[live_indices[positive]] = best_buyers[positive]
+    return prices, revenues, buyers_out
+
+
+def _sigmoid_buyers_exact(
+    wtp_columns: np.ndarray,
+    effective: np.ndarray,
+    levels: np.ndarray,
+    gamma: float,
+    chunk_elements: int = 4_000_000,
+) -> np.ndarray:
+    """Exact expected buyers per level: Σ_u σ(γ(effective_u − p_t)).
+
+    Computed per (level, user, column) in memory-bounded chunks.  Consumers
+    with zero willingness to pay never adopt (see the adoption module);
+    a consumer-bucketing approximation (the paper's own device) was tried
+    here but misplaces the rating classes that sit exactly on grid levels,
+    so the exact scan is used — it is the hot path only for the stochastic
+    sweep experiments, which run at reduced scale.
+    """
+    n_users, n_cols = effective.shape
+    n_levels = levels.shape[0]
+    buyers = np.empty((n_levels, n_cols), dtype=np.float64)
+    in_market = wtp_columns > 0
+    chunk = max(1, chunk_elements // max(1, n_users * n_levels))
+    for start in range(0, n_cols, chunk):
+        stop = min(start + chunk, n_cols)
+        z = np.clip(
+            gamma * (effective[None, :, start:stop] - levels[:, None, start:stop]),
+            -500.0,
+            500.0,
+        )
+        probs = 1.0 / (1.0 + np.exp(-z))
+        probs *= in_market[None, :, start:stop]
+        buyers[:, start:stop] = probs.sum(axis=1)
+    return buyers
+
+
+def _price_exact_batch(
+    columns: np.ndarray, adoption: AdoptionModel
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact pricing (all WTP values as candidates) for the step model."""
+    if not adoption.is_deterministic:
+        raise PricingError("exact grid mode requires a deterministic adoption model")
+    effective = adoption.alpha * columns + adoption.epsilon
+    n_users, n_bundles = effective.shape
+    sorted_desc = -np.sort(-effective, axis=0)
+    ranks = np.arange(1, n_users + 1, dtype=np.float64)[:, None]
+    revenue = sorted_desc * ranks
+    revenue[sorted_desc <= 0] = 0.0
+    best = np.argmax(revenue, axis=0)
+    take = np.arange(n_bundles)
+    prices = sorted_desc[best, take]
+    revenues = revenue[best, take]
+    buyers = ranks[best, 0]
+    dead = revenues <= 0
+    prices = np.where(dead, 0.0, prices)
+    revenues = np.where(dead, 0.0, revenues)
+    buyers = np.where(dead, 0.0, buyers)
+    return prices, revenues, buyers
+
+
+# -------------------------------------------------------------------- mixed
+def feasible_levels(
+    grid: PriceGrid, effective: np.ndarray, floor: float, ceiling: float
+) -> np.ndarray:
+    """Grid levels strictly inside the mixed-bundling interval (floor, ceiling)."""
+    levels = grid.candidates(effective)
+    if levels.size == 0:
+        return levels
+    return levels[(levels > floor) & (levels < ceiling)]
+
+
+def price_mixed_bundle(
+    bundle_wtp: np.ndarray,
+    base_score: np.ndarray,
+    base_pay: np.ndarray,
+    floor: float,
+    ceiling: float,
+    adoption: AdoptionModel | None = None,
+    grid: PriceGrid | None = None,
+    bundle: Bundle | None = None,
+) -> MixedMerge:
+    """Price a bundle offered on top of an existing sub-offer state.
+
+    ``base_score``/``base_pay`` describe the per-consumer choice state of
+    the offers the bundle would cover (see
+    :class:`repro.core.choice.SubtreeState`): under deterministic adoption,
+    the best achievable surplus and the payment at that choice; under
+    stochastic adoption, the log partition function and the expected
+    payment.  The bundle price is searched over the grid levels strictly
+    inside ``(floor, ceiling)`` — the Guiltinan constraints with the
+    covered offers' prices — maximizing the expected *additional* revenue
+
+        gain(p) = Σ_u  P(upgrade at p) · (p − base_pay_u),
+
+    where P(upgrade) is an indicator ``u_b ≥ base_score`` (deterministic;
+    ties toward the bundle, the paper's Table 1 convention) or
+    ``σ(u_b − base_score)`` (multinomial logit, the exact multi-option
+    generalization of Equation 6).
+    """
+    adoption = adoption or StepAdoption()
+    grid = grid or PriceGrid()
+    placeholder = bundle if bundle is not None else Bundle.of(0)
+    w_b = np.asarray(bundle_wtp, dtype=np.float64)
+    effective = adoption.alpha * w_b + adoption.epsilon
+    levels = feasible_levels(grid, effective, floor, ceiling)
+    if levels.size == 0 or ceiling <= floor:
+        return MixedMerge(placeholder, 0.0, 0.0, 0.0, feasible=False)
+    gamma = 1.0 if adoption.is_deterministic else getattr(adoption, "gamma", 1.0)
+    utility = gamma * (effective[None, :] - levels[:, None])  # (T', M)
+    if adoption.is_deterministic:
+        tol = LEVEL_RTOL * (1.0 + np.abs(levels))[:, None]
+        take = (utility >= base_score[None, :] - tol) & (w_b > 0)[None, :]
+    else:
+        take = 1.0 / (1.0 + np.exp(-np.clip(utility - base_score[None, :], -500.0, 500.0)))
+        take = take * (w_b > 0)[None, :]
+    gains = (take * (levels[:, None] - base_pay[None, :])).sum(axis=1)
+    upgraded = take.sum(axis=1).astype(np.float64)
+    best = int(np.argmax(gains))
+    return MixedMerge(
+        bundle=placeholder,
+        price=float(levels[best]),
+        gain=float(gains[best]),
+        upgraded=float(upgraded[best]),
+        feasible=True,
+    )
+
+
+def price_mixed_bundle_batch(
+    bundle_wtps: np.ndarray,
+    base_scores: np.ndarray,
+    base_pays: np.ndarray,
+    floors: np.ndarray,
+    ceilings: np.ndarray,
+    adoption: AdoptionModel | None = None,
+    grid: PriceGrid | None = None,
+    chunk_elements: int = 4_000_000,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`price_mixed_bundle` across ``P`` candidate merges.
+
+    All per-consumer inputs are column-stacked ``(M, P)`` arrays; ``floors``
+    and ``ceilings`` are ``(P,)``.  Returns ``(prices, gains, upgraded,
+    feasible)``.  Requires a linspace grid (the algorithms' hot path); grid
+    levels outside a pair's Guiltinan interval are masked out.
+    """
+    adoption = adoption or StepAdoption()
+    grid = grid or PriceGrid()
+    if grid.mode != "linspace":
+        raise PricingError("batch mixed pricing requires a linspace grid")
+    w_b = np.asarray(bundle_wtps, dtype=np.float64)
+    if w_b.ndim != 2:
+        raise ValidationError(f"bundle_wtps must be 2-D, got shape {w_b.shape}")
+    n_users, n_pairs = w_b.shape
+    floors = np.asarray(floors, dtype=np.float64)
+    ceilings = np.asarray(ceilings, dtype=np.float64)
+    effective = adoption.alpha * w_b + adoption.epsilon
+
+    prices = np.zeros(n_pairs)
+    gains = np.full(n_pairs, -np.inf)
+    upgraded = np.zeros(n_pairs)
+    feasible = np.zeros(n_pairs, dtype=bool)
+
+    n_levels = grid.n_levels
+    tops = effective.max(axis=0)
+    gamma = 1.0 if adoption.is_deterministic else getattr(adoption, "gamma", 1.0)
+    deterministic = adoption.is_deterministic
+
+    chunk = max(1, chunk_elements // max(1, n_users * n_levels))
+    level_ranks = np.arange(1, n_levels + 1, dtype=np.float64)
+    for start in range(0, n_pairs, chunk):
+        stop = min(start + chunk, n_pairs)
+        width = stop - start
+        tops_c = tops[start:stop]
+        levels = level_ranks[:, None] * (tops_c[None, :] / n_levels)  # (T, c)
+        valid = (levels > floors[None, start:stop]) & (levels < ceilings[None, start:stop])
+        valid &= tops_c[None, :] > 0
+        utility = gamma * (effective[None, :, start:stop] - levels[:, None, :])  # (T, M, c)
+        in_market = (w_b[:, start:stop] > 0)[None, :, :]
+        if deterministic:
+            tol = LEVEL_RTOL * (1.0 + np.abs(levels))[:, None, :]
+            take = (utility >= base_scores[None, :, start:stop] - tol) & in_market
+        else:
+            take = 1.0 / (
+                1.0
+                + np.exp(
+                    -np.clip(utility - base_scores[None, :, start:stop], -500.0, 500.0)
+                )
+            )
+            take = take * in_market
+        delta = levels[:, None, :] - base_pays[None, :, start:stop]
+        gain_levels = (take * delta).sum(axis=1)
+        upg_levels = take.sum(axis=1).astype(np.float64)
+        gain_levels = np.where(valid, gain_levels, -np.inf)
+        best = np.argmax(gain_levels, axis=0)
+        span = np.arange(width)
+        has_level = valid.any(axis=0)
+        feasible[start:stop] = has_level
+        prices[start:stop] = np.where(has_level, levels[best, span], 0.0)
+        gains[start:stop] = np.where(has_level, gain_levels[best, span], -np.inf)
+        upgraded[start:stop] = np.where(has_level, upg_levels[best, span], 0.0)
+    return prices, gains, upgraded, feasible

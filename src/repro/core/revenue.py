@@ -1,0 +1,415 @@
+"""The revenue engine: Equations 1, 2 and 5 behind one object.
+
+:class:`RevenueEngine` binds together the WTP matrix, the bundling
+coefficient θ, the adoption model, and the price grid, and exposes every
+revenue computation the configuration algorithms need:
+
+* pricing a single bundle offered on its own (pure bundling);
+* batched pricing of many candidate bundles at once (the O(M·N²) pair scans
+  of Algorithms 1 and 2, vectorized);
+* mixed-merge pricing under the incremental policy of Section 4.2;
+* the co-support pruning rule of Section 5.3.1 ("only consider pairs of
+  items for which at least one customer has non-zero willingness to pay for
+  both");
+* operation counters used by the complexity experiments (Section 6.3).
+
+Results of single-bundle pricing are cached by bundle, since both heuristics
+revisit surviving bundles across iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.adoption import AdoptionModel, StepAdoption
+from repro.core.bundle import Bundle
+from repro.core.pricing import (
+    MixedMerge,
+    PriceGrid,
+    PricedBundle,
+    price_pure,
+    price_pure_batch,
+)
+from repro.core.wtp import WTPMatrix
+from repro.errors import ValidationError
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class EngineStats:
+    """Operation counters for the efficiency experiments."""
+
+    pure_pricings: int = 0
+    mixed_pricings: int = 0
+    batch_calls: int = 0
+
+    def reset(self) -> None:
+        self.pure_pricings = 0
+        self.mixed_pricings = 0
+        self.batch_calls = 0
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Generalized seller objective ``α·profit + (1−α)·surplus`` (Section 1).
+
+    The paper's experiments use α=1 with zero variable cost, i.e. revenue
+    maximization; this extension supports the full utility function.
+    ``variable_costs`` holds one per-unit cost per item (bundle cost is the
+    sum over its items).
+    """
+
+    profit_weight: float = 1.0
+    variable_costs: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        check_fraction(self.profit_weight, "profit_weight")
+        if self.variable_costs is not None:
+            costs = np.asarray(self.variable_costs, dtype=np.float64)
+            if costs.ndim != 1 or np.any(costs < 0) or not np.all(np.isfinite(costs)):
+                raise ValidationError("variable_costs must be a 1-D non-negative array")
+            object.__setattr__(self, "variable_costs", costs)
+
+    def bundle_cost(self, bundle: Bundle) -> float:
+        if self.variable_costs is None:
+            return 0.0
+        return float(self.variable_costs[list(bundle.items)].sum())
+
+    @property
+    def is_pure_revenue(self) -> bool:
+        return self.profit_weight == 1.0 and self.variable_costs is None
+
+
+class RevenueEngine:
+    """Prices bundles and measures revenue against one WTP matrix.
+
+    Parameters
+    ----------
+    wtp:
+        The M×N willingness-to-pay matrix.
+    theta:
+        Bundling coefficient θ of Equation 1 (default 0 — independent items,
+        the conventional setting; Table 3).
+    adoption:
+        Adoption model (default: the deterministic step function, the exact
+        limit of the paper's γ=1e6 setting).
+    grid:
+        Price grid (default: 100 equi-spaced levels; Section 4.2).
+    objective:
+        Optional generalized objective; ``None`` means revenue maximization.
+    """
+
+    def __init__(
+        self,
+        wtp: WTPMatrix,
+        theta: float = 0.0,
+        adoption: AdoptionModel | None = None,
+        grid: PriceGrid | None = None,
+        objective: Objective | None = None,
+    ) -> None:
+        if not isinstance(wtp, WTPMatrix):
+            wtp = WTPMatrix(wtp)
+        if theta <= -1.0:
+            raise ValidationError(f"theta must be > -1, got {theta}")
+        self.wtp = wtp
+        self.theta = float(theta)
+        self.adoption = adoption or StepAdoption()
+        self.grid = grid or PriceGrid()
+        self.objective = objective
+        self.stats = EngineStats()
+        self._price_cache: dict[Bundle, PricedBundle] = {}
+        self._raw_cache: dict[Bundle, np.ndarray] = {}
+
+    # ------------------------------------------------------------ dimensions
+    @property
+    def n_users(self) -> int:
+        return self.wtp.n_users
+
+    @property
+    def n_items(self) -> int:
+        return self.wtp.n_items
+
+    @property
+    def total_wtp(self) -> float:
+        """Denominator of the revenue-coverage metric."""
+        return self.wtp.total
+
+    def coverage(self, revenue: float) -> float:
+        """Revenue coverage = revenue / total willingness to pay."""
+        total = self.total_wtp
+        if total <= 0:
+            return 0.0
+        return revenue / total
+
+    # ------------------------------------------------------------------- WTP
+    def _scale(self, size: int) -> float:
+        """Equation 1's interaction factor; singletons are unscaled."""
+        return 1.0 + self.theta if size >= 2 else 1.0
+
+    def raw_wtp(self, bundle: Bundle) -> np.ndarray:
+        """Σ_{i∈b} w_{u,i} without the θ factor (cached)."""
+        cached = self._raw_cache.get(bundle)
+        if cached is not None:
+            return cached
+        raw = self.wtp.values[:, list(bundle.items)].sum(axis=1)
+        self._raw_cache[bundle] = raw
+        return raw
+
+    def bundle_wtp(self, bundle: Bundle) -> np.ndarray:
+        """Per-user willingness to pay for *bundle* (Equation 1)."""
+        return self.raw_wtp(bundle) * self._scale(bundle.size)
+
+    def drop_cached(self, bundles: Iterable[Bundle]) -> None:
+        """Release cache entries for bundles no longer under consideration."""
+        for bundle in bundles:
+            self._raw_cache.pop(bundle, None)
+            self._price_cache.pop(bundle, None)
+
+    # ---------------------------------------------------------- pure pricing
+    def price_bundle(self, bundle: Bundle) -> PricedBundle:
+        """Revenue-maximizing standalone price for *bundle* (cached)."""
+        cached = self._price_cache.get(bundle)
+        if cached is not None:
+            return cached
+        self.stats.pure_pricings += 1
+        if self.objective is not None and not self.objective.is_pure_revenue:
+            priced = self._price_with_objective(bundle)
+        else:
+            priced = price_pure(self.bundle_wtp(bundle), self.adoption, self.grid, bundle=bundle)
+        self._price_cache[bundle] = priced
+        return priced
+
+    def price_bundles(self, bundles: Sequence[Bundle]) -> list[PricedBundle]:
+        """Batch :meth:`price_bundle`; prices uncached bundles in one pass."""
+        missing = [b for b in bundles if b not in self._price_cache]
+        if missing:
+            if self.objective is not None and not self.objective.is_pure_revenue:
+                for bundle in missing:
+                    self.price_bundle(bundle)
+            else:
+                columns = np.stack([self.bundle_wtp(b) for b in missing], axis=1)
+                prices, revenues, buyers = price_pure_batch(columns, self.adoption, self.grid)
+                self.stats.pure_pricings += len(missing)
+                self.stats.batch_calls += 1
+                for j, bundle in enumerate(missing):
+                    self._price_cache[bundle] = PricedBundle(
+                        bundle, float(prices[j]), float(revenues[j]), float(buyers[j])
+                    )
+        return [self._price_cache[b] for b in bundles]
+
+    def price_components(self) -> list[PricedBundle]:
+        """Price every item individually — the Components baseline."""
+        return self.price_bundles([Bundle.singleton(i) for i in range(self.n_items)])
+
+    def pure_merge_gains(
+        self, priced: Sequence[PricedBundle], pairs: Sequence[tuple[int, int]]
+    ) -> tuple[np.ndarray, list[PricedBundle]]:
+        """Gain ``r(b1∪b2) − r(b1) − r(b2)`` for each candidate pair.
+
+        Returns the gains and the priced merged bundles (which are also
+        cached, so applying a selected merge costs nothing extra).
+        """
+        if not pairs:
+            return np.empty(0), []
+        merged_bundles = [priced[i].bundle | priced[j].bundle for i, j in pairs]
+        merged_priced = self.price_bundles(merged_bundles)
+        gains = np.array(
+            [
+                merged_priced[k].revenue - priced[i].revenue - priced[j].revenue
+                for k, (i, j) in enumerate(pairs)
+            ]
+        )
+        return gains, merged_priced
+
+    # --------------------------------------------------------- mixed pricing
+    def offer_state(self, offer: PricedBundle) -> "SubtreeState":
+        """Per-consumer choice state of a standalone offer (no sub-offers)."""
+        from repro.core.choice import singleton_state
+
+        return singleton_state(self.bundle_wtp(offer.bundle), offer.price, self.adoption)
+
+    def mixed_merge_gains(
+        self,
+        priced: Sequence[PricedBundle],
+        states: Sequence["SubtreeState"],
+        pairs: Sequence[tuple[int, int]],
+    ) -> list[MixedMerge]:
+        """Incremental mixed pricing for each candidate pair (batched).
+
+        For pair (b1, b2) the merged bundle is priced inside the Guiltinan
+        interval ``(max(p1, p2), p1 + p2)`` and its *additional* expected
+        revenue over the two subtrees' current offers is returned
+        (Section 4.2's upgrade semantics, exact for arbitrarily nested
+        offers via the subtree-state recursion).
+        """
+        if not pairs:
+            return []
+        self.stats.mixed_pricings += len(pairs)
+        self.stats.batch_calls += 1
+        if self.grid.mode != "linspace":
+            from repro.core.pricing import price_mixed_bundle
+
+            results = []
+            for i, j in pairs:
+                first, second = priced[i], priced[j]
+                union = first.bundle | second.bundle
+                raw = self.raw_wtp(first.bundle) + self.raw_wtp(second.bundle)
+                base = states[i] + states[j]
+                results.append(
+                    price_mixed_bundle(
+                        raw * self._scale(union.size),
+                        base.score,
+                        base.pay,
+                        max(first.price, second.price),
+                        first.price + second.price,
+                        self.adoption,
+                        self.grid,
+                        bundle=union,
+                    )
+                )
+            return results
+        from repro.core.pricing import price_mixed_bundle_batch
+
+        n_users = self.n_users
+        n_pairs = len(pairs)
+        wtp_b = np.empty((n_users, n_pairs))
+        base_scores = np.empty((n_users, n_pairs))
+        base_pays = np.empty((n_users, n_pairs))
+        floors = np.empty(n_pairs)
+        ceilings = np.empty(n_pairs)
+        merged_bundles: list[Bundle] = []
+        for k, (i, j) in enumerate(pairs):
+            first, second = priced[i], priced[j]
+            union = first.bundle | second.bundle
+            merged_bundles.append(union)
+            raw = self.raw_wtp(first.bundle) + self.raw_wtp(second.bundle)
+            wtp_b[:, k] = raw * self._scale(union.size)
+            base_scores[:, k] = states[i].score + states[j].score
+            base_pays[:, k] = states[i].pay + states[j].pay
+            floors[k] = max(first.price, second.price)
+            ceilings[k] = first.price + second.price
+        prices, gains, upgraded, feasible = price_mixed_bundle_batch(
+            wtp_b, base_scores, base_pays, floors, ceilings, self.adoption, self.grid
+        )
+        return [
+            MixedMerge(
+                bundle=merged_bundles[k],
+                price=float(prices[k]),
+                gain=float(gains[k]) if feasible[k] else 0.0,
+                upgraded=float(upgraded[k]),
+                feasible=bool(feasible[k]),
+            )
+            for k in range(n_pairs)
+        ]
+
+    def mixed_merge(
+        self,
+        first: PricedBundle,
+        second: PricedBundle,
+        state_first: "SubtreeState | None" = None,
+        state_second: "SubtreeState | None" = None,
+    ) -> MixedMerge:
+        """Single-pair convenience wrapper over :meth:`mixed_merge_gains`.
+
+        Subtree states default to standalone-offer states (correct when the
+        two offers have no sub-offers of their own).
+        """
+        states = [
+            state_first if state_first is not None else self.offer_state(first),
+            state_second if state_second is not None else self.offer_state(second),
+        ]
+        return self.mixed_merge_gains([first, second], states, [(0, 1)])[0]
+
+    def merged_mixed_state(
+        self,
+        merge: MixedMerge,
+        base: "SubtreeState",
+    ) -> "SubtreeState":
+        """Choice state of the subtree created by applying *merge* on *base*."""
+        from repro.core.choice import merged_state
+
+        utility = self.adoption.utility(self.bundle_wtp(merge.bundle), merge.price)
+        return merged_state(base, utility, merge.price, self.adoption)
+
+    def mixed_bundle_gain(self, bundle: Bundle, components: Sequence[PricedBundle]) -> MixedMerge:
+        """Mixed pricing of *bundle* offered alongside arbitrary components.
+
+        The components must partition the bundle's items (checked).  Used
+        by the frequent-itemset baseline, whose candidate itemsets are
+        offered next to all their singleton components.
+        """
+        from repro.core.pricing import price_mixed_bundle
+
+        covered: set[int] = set()
+        for component in components:
+            covered.update(component.bundle.items)
+        if covered != set(bundle.items):
+            raise ValidationError("components must exactly partition the bundle's items")
+        self.stats.mixed_pricings += 1
+        base = self.offer_state(components[0])
+        for component in components[1:]:
+            base = base + self.offer_state(component)
+        return price_mixed_bundle(
+            self.bundle_wtp(bundle),
+            base.score,
+            base.pay,
+            max(component.price for component in components),
+            sum(component.price for component in components),
+            self.adoption,
+            self.grid,
+            bundle=bundle,
+        )
+
+    # -------------------------------------------------------------- pruning
+    def co_supported_pairs(self, bundles: Sequence[Bundle]) -> list[tuple[int, int]]:
+        """Pairs with at least one consumer valuing both sides positively.
+
+        This is pruning strategy 1 of Section 5.3.1: a consumer who wants
+        only one side contributes no extra willingness to pay, so pairs with
+        empty co-support can never produce a revenue gain.
+        """
+        if len(bundles) < 2:
+            return []
+        support = np.stack([self.raw_wtp(b) > 0 for b in bundles], axis=1)
+        counts = support.T.astype(np.float32) @ support.astype(np.float32)
+        upper = np.triu(counts > 0, k=1)
+        rows, cols = np.nonzero(upper)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    # ------------------------------------------------------------- objective
+    def _price_with_objective(self, bundle: Bundle) -> PricedBundle:
+        """Scan the grid maximizing ``α·profit + (1−α)·surplus``.
+
+        Only supported for deterministic adoption (the generalized objective
+        is an extension; the paper's experiments use pure revenue).
+        """
+        if not self.adoption.is_deterministic:
+            raise ValidationError("the generalized objective requires deterministic adoption")
+        objective = self.objective
+        assert objective is not None
+        wtp = self.bundle_wtp(bundle)
+        effective = self.adoption.alpha * wtp + self.adoption.epsilon
+        levels = self.grid.candidates(effective)
+        if levels.size == 0:
+            return PricedBundle(bundle, 0.0, 0.0, 0.0)
+        cost = objective.bundle_cost(bundle)
+        compare = levels - 1e-9 * (1.0 + np.abs(levels))
+        adopter = effective[None, :] >= compare[:, None]  # (T, M)
+        buyers = adopter.sum(axis=1)
+        revenue = levels * buyers
+        profit = (levels - cost) * buyers
+        surplus = (adopter * np.maximum(wtp[None, :] - levels[:, None], 0.0)).sum(axis=1)
+        value = objective.profit_weight * profit + (1.0 - objective.profit_weight) * surplus
+        best = int(np.argmax(value))
+        if value[best] <= 0:
+            return PricedBundle(bundle, 0.0, 0.0, 0.0)
+        return PricedBundle(bundle, float(levels[best]), float(revenue[best]), float(buyers[best]))
+
+    def __repr__(self) -> str:
+        return (
+            f"RevenueEngine(n_users={self.n_users}, n_items={self.n_items}, "
+            f"theta={self.theta}, adoption={self.adoption!r}, grid={self.grid!r})"
+        )

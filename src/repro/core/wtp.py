@@ -1,0 +1,156 @@
+"""The willingness-to-pay matrix ``W`` (paper, Section 3).
+
+``W`` is an M×N non-negative matrix: ``W[u, i]`` is how much consumer ``u``
+is willing to pay for item ``i``.  The matrix is the single input every
+bundling algorithm consumes; Section 6.1.1's ratings-to-WTP mapping (in
+:mod:`repro.data.wtp_mapping`) is one way to produce it.
+
+Bundle-level willingness to pay follows Equation 1:
+
+    w_{u,b} = (1 + θ) · Σ_{i∈b} w_{u,i}
+
+with the convention — implied by the paper's statement that "θ only applies
+to bundling, Components is not affected by θ" — that the interaction factor
+``(1 + θ)`` applies only to bundles of two or more items.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bundle import Bundle
+from repro.errors import ValidationError
+
+
+class WTPMatrix:
+    """Dense M×N willingness-to-pay matrix with optional labels.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n_users, n_items)``; entries must be finite
+        and non-negative.  The array is copied and frozen.
+    item_labels:
+        Optional human-readable item names (used by case-study reports).
+    """
+
+    def __init__(self, values, item_labels: Sequence[str] | None = None) -> None:
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValidationError(f"WTP matrix must be 2-D, got shape {array.shape}")
+        if array.shape[0] == 0 or array.shape[1] == 0:
+            raise ValidationError(f"WTP matrix must be non-empty, got shape {array.shape}")
+        if not np.all(np.isfinite(array)):
+            raise ValidationError("WTP matrix contains non-finite entries")
+        if np.any(array < 0):
+            raise ValidationError("WTP matrix contains negative entries")
+        array = array.copy()
+        array.setflags(write=False)
+        self._values = array
+        if item_labels is not None:
+            labels = [str(label) for label in item_labels]
+            if len(labels) != array.shape[1]:
+                raise ValidationError(
+                    f"got {len(labels)} item labels for {array.shape[1]} items"
+                )
+            self._item_labels: tuple[str, ...] | None = tuple(labels)
+        else:
+            self._item_labels = None
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def n_users(self) -> int:
+        """M, the number of consumers."""
+        return self._values.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        """N, the number of items."""
+        return self._values.shape[1]
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only ``(M, N)`` array."""
+        return self._values
+
+    @property
+    def item_labels(self) -> tuple[str, ...] | None:
+        """Item names if provided at construction."""
+        return self._item_labels
+
+    def label_of(self, item: int) -> str:
+        """Readable name for *item* (falls back to ``"item <i>"``)."""
+        if self._item_labels is not None:
+            return self._item_labels[item]
+        return f"item {item}"
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def total(self) -> float:
+        """Aggregate willingness to pay — the revenue upper bound.
+
+        The denominator of the paper's *revenue coverage* metric
+        (Section 6.1.2).
+        """
+        return float(self._values.sum())
+
+    def column(self, item: int) -> np.ndarray:
+        """Per-user WTP for a single item (read-only view)."""
+        return self._values[:, item]
+
+    def bundle_wtp(self, bundle: Bundle, theta: float = 0.0) -> np.ndarray:
+        """Per-user WTP for *bundle* under Equation 1.
+
+        The ``(1 + θ)`` interaction factor applies only when the bundle has
+        two or more items; a singleton's WTP is the item's WTP unchanged.
+        """
+        if bundle.size == 1:
+            return self._values[:, bundle.items[0]].copy()
+        raw = self._values[:, list(bundle.items)].sum(axis=1)
+        return raw * (1.0 + theta)
+
+    def support(self, bundle: Bundle) -> np.ndarray:
+        """Boolean mask of users with positive WTP for any item of *bundle*."""
+        if bundle.size == 1:
+            return self._values[:, bundle.items[0]] > 0
+        return (self._values[:, list(bundle.items)] > 0).any(axis=1)
+
+    # ----------------------------------------------------------- derivations
+    def subset_items(self, items: Sequence[int]) -> "WTPMatrix":
+        """A new matrix restricted to the given item columns (reindexed 0..)."""
+        items = list(items)
+        if not items:
+            raise ValidationError("cannot build a WTP matrix with zero items")
+        labels = None
+        if self._item_labels is not None:
+            labels = [self._item_labels[i] for i in items]
+        return WTPMatrix(self._values[:, items], item_labels=labels)
+
+    def subset_users(self, users: Sequence[int]) -> "WTPMatrix":
+        """A new matrix restricted to the given user rows."""
+        users = list(users)
+        if not users:
+            raise ValidationError("cannot build a WTP matrix with zero users")
+        return WTPMatrix(self._values[users, :], item_labels=self._item_labels)
+
+    def clone_users(self, factor: int) -> "WTPMatrix":
+        """Stack *factor* copies of the user population (Section 6.3).
+
+        The paper's scalability study "clones the users in the same dataset
+        using a multiplication factor"; this reproduces that workload.
+        """
+        if factor < 1:
+            raise ValidationError(f"clone factor must be >= 1, got {factor}")
+        stacked = np.vstack([self._values] * factor)
+        return WTPMatrix(stacked, item_labels=self._item_labels)
+
+    def scaled(self, factor: float) -> "WTPMatrix":
+        """A new matrix with every entry multiplied by *factor* (> 0)."""
+        if factor <= 0:
+            raise ValidationError(f"scale factor must be > 0, got {factor}")
+        return WTPMatrix(self._values * factor, item_labels=self._item_labels)
+
+    def __repr__(self) -> str:
+        return f"WTPMatrix(n_users={self.n_users}, n_items={self.n_items}, total={self.total:.2f})"

@@ -1,0 +1,46 @@
+"""Data substrate: ratings containers, synthetic generation, WTP mapping."""
+
+from repro.data.loaders import (
+    load_ratings_csv,
+    load_wtp_npz,
+    save_ratings_csv,
+    save_wtp_npz,
+)
+from repro.data.ratings import (
+    AMAZON_BOOKS_PRICE_BUCKETS,
+    AMAZON_BOOKS_RATING_MARGINAL,
+    PAPER_KCORE,
+    DatasetStats,
+    RatingsDataset,
+)
+from repro.data.synthetic import (
+    amazon_books_like,
+    generate_ratings,
+    paper_scale_dataset,
+    sample_prices,
+)
+from repro.data.toy import TABLE1_THETA, TABLE6_TITLES, table1_wtp, table6_wtp
+from repro.data.wtp_mapping import DEFAULT_LAMBDA, list_price_revenue, wtp_from_ratings
+
+__all__ = [
+    "AMAZON_BOOKS_PRICE_BUCKETS",
+    "AMAZON_BOOKS_RATING_MARGINAL",
+    "DEFAULT_LAMBDA",
+    "DatasetStats",
+    "PAPER_KCORE",
+    "RatingsDataset",
+    "TABLE1_THETA",
+    "TABLE6_TITLES",
+    "amazon_books_like",
+    "generate_ratings",
+    "list_price_revenue",
+    "load_ratings_csv",
+    "load_wtp_npz",
+    "paper_scale_dataset",
+    "sample_prices",
+    "save_ratings_csv",
+    "save_wtp_npz",
+    "table1_wtp",
+    "table6_wtp",
+    "wtp_from_ratings",
+]

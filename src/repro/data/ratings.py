@@ -1,0 +1,166 @@
+"""Rating datasets (paper, Section 6.1.1).
+
+The paper mines willingness to pay from the UIC Amazon ratings crawl
+(Books category): 4,449 users × 5,028 items × 108,291 ratings after
+iteratively removing users and items with fewer than ten ratings.  This
+module provides the container for such data — a COO triple store plus item
+prices — together with the iterative k-core filter and the summary
+statistics the paper reports (rating histogram, price histogram).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Rating histogram of the paper's Books dataset: shares of ratings 1..5.
+AMAZON_BOOKS_RATING_MARGINAL = (0.03, 0.05, 0.13, 0.29, 0.49)
+
+#: Price histogram of the paper's Books dataset: (low, high, share) buckets.
+AMAZON_BOOKS_PRICE_BUCKETS = ((2.0, 10.0, 0.50), (10.0, 20.0, 0.46), (20.0, 50.0, 0.04))
+
+#: The paper's k-core threshold.
+PAPER_KCORE = 10
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics mirroring the paper's dataset description."""
+
+    n_users: int
+    n_items: int
+    n_ratings: int
+    density: float
+    rating_histogram: tuple[float, ...]
+    price_share_below_10: float
+    price_share_10_to_20: float
+    price_share_above_20: float
+
+
+class RatingsDataset:
+    """User-item ratings with item prices, in coordinate form.
+
+    Parameters
+    ----------
+    user_ids, item_ids, ratings:
+        Parallel arrays; user and item ids must be contiguous in
+        ``[0, n_users)`` / ``[0, n_items)``.  Ratings live on a 1..rating_max
+        scale.
+    item_prices:
+        Listed sales price per item (the "Amazon price" of Section 6.1.1).
+    """
+
+    def __init__(
+        self,
+        user_ids,
+        item_ids,
+        ratings,
+        item_prices,
+        rating_max: int = 5,
+    ) -> None:
+        self.user_ids = np.asarray(user_ids, dtype=np.int64)
+        self.item_ids = np.asarray(item_ids, dtype=np.int64)
+        self.ratings = np.asarray(ratings, dtype=np.float64)
+        self.item_prices = np.asarray(item_prices, dtype=np.float64)
+        self.rating_max = int(rating_max)
+        self._validate()
+
+    def _validate(self) -> None:
+        n = self.user_ids.size
+        if not (self.item_ids.size == n and self.ratings.size == n):
+            raise DataError("user_ids, item_ids and ratings must have equal length")
+        if n == 0:
+            raise DataError("dataset contains no ratings")
+        if self.user_ids.min() < 0 or self.item_ids.min() < 0:
+            raise DataError("user and item ids must be non-negative")
+        if self.item_prices.ndim != 1 or self.item_prices.size <= self.item_ids.max():
+            raise DataError("item_prices must cover every item id")
+        if np.any(self.item_prices <= 0) or not np.all(np.isfinite(self.item_prices)):
+            raise DataError("item prices must be finite and positive")
+        if np.any(self.ratings < 1) or np.any(self.ratings > self.rating_max):
+            raise DataError(f"ratings must lie in [1, {self.rating_max}]")
+        keys = self.user_ids * (self.item_ids.max() + 1) + self.item_ids
+        if np.unique(keys).size != n:
+            raise DataError("duplicate (user, item) rating pairs")
+
+    # ------------------------------------------------------------ dimensions
+    @property
+    def n_users(self) -> int:
+        return int(self.user_ids.max()) + 1
+
+    @property
+    def n_items(self) -> int:
+        return int(self.item_prices.size)
+
+    @property
+    def n_ratings(self) -> int:
+        return int(self.user_ids.size)
+
+    @property
+    def density(self) -> float:
+        return self.n_ratings / (self.n_users * self.n_items)
+
+    # ----------------------------------------------------------------- kcore
+    def kcore(self, min_ratings: int = PAPER_KCORE) -> "RatingsDataset":
+        """Iteratively drop users/items with fewer than *min_ratings* ratings.
+
+        This is the paper's preprocessing: "we iteratively remove users and
+        items with less than ten ratings until all users and items have ten
+        ratings each".  Surviving users and items are re-indexed compactly.
+        """
+        users = self.user_ids.copy()
+        items = self.item_ids.copy()
+        keep = np.ones(users.size, dtype=bool)
+        while True:
+            user_counts = np.bincount(users[keep], minlength=self.n_users)
+            item_counts = np.bincount(items[keep], minlength=self.n_items)
+            bad = keep & (
+                (user_counts[users] < min_ratings) | (item_counts[items] < min_ratings)
+            )
+            if not np.any(bad):
+                break
+            keep &= ~bad
+        if not np.any(keep):
+            raise DataError(f"k-core filtering with min_ratings={min_ratings} removed everything")
+        surviving_users = np.unique(users[keep])
+        surviving_items = np.unique(items[keep])
+        user_map = -np.ones(self.n_users, dtype=np.int64)
+        item_map = -np.ones(self.n_items, dtype=np.int64)
+        user_map[surviving_users] = np.arange(surviving_users.size)
+        item_map[surviving_items] = np.arange(surviving_items.size)
+        return RatingsDataset(
+            user_map[users[keep]],
+            item_map[items[keep]],
+            self.ratings[keep],
+            self.item_prices[surviving_items],
+            rating_max=self.rating_max,
+        )
+
+    # ----------------------------------------------------------------- stats
+    def rating_histogram(self) -> tuple[float, ...]:
+        """Share of each integer rating value 1..rating_max."""
+        rounded = np.round(self.ratings).astype(np.int64)
+        counts = np.bincount(rounded, minlength=self.rating_max + 1)[1:]
+        return tuple((counts / counts.sum()).tolist())
+
+    def stats(self) -> DatasetStats:
+        prices = self.item_prices
+        return DatasetStats(
+            n_users=self.n_users,
+            n_items=self.n_items,
+            n_ratings=self.n_ratings,
+            density=self.density,
+            rating_histogram=self.rating_histogram(),
+            price_share_below_10=float(np.mean(prices < 10.0)),
+            price_share_10_to_20=float(np.mean((prices >= 10.0) & (prices <= 20.0))),
+            price_share_above_20=float(np.mean(prices > 20.0)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RatingsDataset(n_users={self.n_users}, n_items={self.n_items}, "
+            f"n_ratings={self.n_ratings})"
+        )

@@ -1,0 +1,251 @@
+"""Synthetic ratings calibrated to the paper's Amazon-Books marginals.
+
+The UIC Amazon crawl used in Section 6.1.1 is not redistributable, so the
+experiments run on a seeded generator that reproduces the statistics the
+paper publishes:
+
+* rating histogram — 3% / 5% / 13% / 29% / 49% for ratings 1..5;
+* price histogram — 50% of items below $10, 46% between $10 and $20,
+  4% above $20;
+* sparsity — roughly 24 ratings per user (108,291 ratings over
+  4,449 × 5,028), with every user and item having at least ten ratings
+  after k-core filtering.
+
+Structure matters as much as marginals here.  Revenue-positive *pure*
+bundles exist only for items whose audiences nearly coincide and whose
+valuations are dispersed enough that summed willingness to pay flattens
+(the Adams–Yellen effect); on ratings-derived WTP that means: co-rating
+overlap close to 1, weakly correlated co-ratings, and similar list prices.
+Real book data has exactly this shape through *series* (fans rate every
+volume, opinions differ per volume, volumes share a price point).  The
+generator therefore models three levels:
+
+* **genres** — users draw sparse Dirichlet genre weights, so audiences
+  within a genre overlap broadly (what the frequent-itemset baseline and
+  mixed bundling exploit);
+* **series** — items group into small series inside a genre; a consumer
+  who rates one volume rates the whole series, and all volumes share one
+  list price (where profitable pure bundles come from);
+* **latent preferences** — a user×series factor model decides *which*
+  series a user rates and tilts *how* she rates it; per-rating noise
+  keeps co-rated ratings dispersed.
+
+Latent scores are rank-mapped to the target rating histogram, preserving
+both the marginal distribution and the preference ordering; series
+popularity is Zipf-skewed to mimic retail data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ratings import (
+    AMAZON_BOOKS_PRICE_BUCKETS,
+    AMAZON_BOOKS_RATING_MARGINAL,
+    RatingsDataset,
+)
+from repro.errors import DataError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: Share of series having 1, 2, 3, 4, 5 volumes (books are mostly solo).
+DEFAULT_SERIES_SIZE_DIST = ((1, 0.45), (2, 0.20), (3, 0.15), (4, 0.12), (5, 0.08))
+
+
+def sample_prices(n_items: int, buckets=AMAZON_BOOKS_PRICE_BUCKETS, rng=None) -> np.ndarray:
+    """Draw item prices from the paper's bucketed price histogram."""
+    rng = ensure_rng(rng)
+    shares = np.array([share for _, _, share in buckets], dtype=np.float64)
+    shares = shares / shares.sum()
+    which = rng.choice(len(buckets), size=n_items, p=shares)
+    lows = np.array([low for low, _, _ in buckets])
+    highs = np.array([high for _, high, _ in buckets])
+    prices = rng.uniform(lows[which], highs[which])
+    return np.round(prices, 2)
+
+
+def _ratings_from_scores(scores: np.ndarray, marginal, rng) -> np.ndarray:
+    """Rank-map latent scores to ratings matching the target histogram.
+
+    Ties are broken with a vanishing jitter so the empirical histogram hits
+    the marginal to within one rating per bucket.
+    """
+    marginal = np.asarray(marginal, dtype=np.float64)
+    marginal = marginal / marginal.sum()
+    jitter = rng.normal(scale=1e-9, size=scores.shape)
+    order = np.argsort(scores + jitter)
+    boundaries = np.floor(np.cumsum(marginal) * scores.size).astype(np.int64)
+    ratings = np.empty(scores.size, dtype=np.float64)
+    start = 0
+    for level, stop in enumerate(boundaries, start=1):
+        ratings[order[start:stop]] = level
+        start = stop
+    ratings[order[start:]] = marginal.size  # numerical slack goes to the top
+    return ratings
+
+
+def _assign_series(n_items: int, size_dist, rng) -> np.ndarray:
+    """Group items into series; returns ``series_of_item`` labels."""
+    sizes = np.array([size for size, _share in size_dist])
+    shares = np.array([share for _size, share in size_dist], dtype=np.float64)
+    shares = shares / shares.sum()
+    series_of_item = np.empty(n_items, dtype=np.int64)
+    item = 0
+    series = 0
+    while item < n_items:
+        size = int(rng.choice(sizes, p=shares))
+        size = min(size, n_items - item)
+        series_of_item[item : item + size] = series
+        item += size
+        series += 1
+    return series_of_item
+
+
+def generate_ratings(
+    n_users: int,
+    n_items: int,
+    avg_ratings_per_user: float = 24.0,
+    min_ratings_per_user: int = 12,
+    rating_marginal=AMAZON_BOOKS_RATING_MARGINAL,
+    price_buckets=AMAZON_BOOKS_PRICE_BUCKETS,
+    latent_dim: int = 8,
+    popularity_exponent: float = 0.4,
+    preference_strength: float = 1.0,
+    n_genres: int | None = None,
+    genre_concentration: float = 0.25,
+    genre_strength: float = 3.0,
+    series_size_dist=DEFAULT_SERIES_SIZE_DIST,
+    rating_dispersion: float = 1.0,
+    seed=None,
+) -> RatingsDataset:
+    """Generate a ratings dataset with the paper's published marginals.
+
+    Parameters
+    ----------
+    n_users, n_items:
+        Population sizes before k-core filtering.
+    avg_ratings_per_user:
+        Mean basket size (paper: ≈24); per-user counts are Poisson-drawn
+        and clipped at ``min_ratings_per_user`` so the 10-core keeps most
+        of the data.
+    popularity_exponent:
+        Zipf skew of series popularity; 0 is uniform.
+    preference_strength:
+        How strongly a user's latent affinity tilts which series she rates
+        (0 = random baskets).
+    n_genres:
+        Number of genres (default ≈ one per 12 items, at least 2); 0
+        disables genre structure.
+    genre_concentration:
+        Dirichlet concentration of user genre weights; smaller = users
+        stick to fewer genres = heavier audience overlap.
+    genre_strength:
+        Weight of the genre term in basket selection.
+    series_size_dist:
+        ``(size, share)`` pairs for series sizes; series mates share one
+        audience and one list price (see module docstring).  Pass
+        ``((1, 1.0),)`` for a series-free dataset.
+    rating_dispersion:
+        Std of per-rating idiosyncratic noise relative to the latent
+        affinity; larger = co-rated ratings less correlated.
+    seed:
+        Anything accepted by :func:`repro.utils.rng.ensure_rng`.
+    """
+    check_positive_int(n_users, "n_users")
+    check_positive_int(n_items, "n_items")
+    if not 0 < min_ratings_per_user <= n_items:
+        raise DataError("min_ratings_per_user must be in (0, n_items]")
+    rng = ensure_rng(seed)
+
+    series_of_item = _assign_series(n_items, series_size_dist, rng)
+    n_series = int(series_of_item.max()) + 1
+    items_of_series = [np.flatnonzero(series_of_item == s) for s in range(n_series)]
+    series_len = np.array([len(items) for items in items_of_series])
+
+    # One list price per series (volumes of a series share a price point).
+    series_prices = sample_prices(n_series, price_buckets, rng)
+    prices = series_prices[series_of_item]
+
+    user_vecs = rng.normal(scale=1.0 / np.sqrt(latent_dim), size=(n_users, latent_dim))
+    series_vecs = rng.normal(scale=1.0 / np.sqrt(latent_dim), size=(n_series, latent_dim))
+    user_bias = rng.normal(scale=0.2, size=n_users)
+    series_bias = rng.normal(scale=0.3, size=n_series)
+    affinity = user_vecs @ series_vecs.T + user_bias[:, None] + series_bias[None, :]
+
+    ranks = rng.permutation(n_series) + 1
+    log_popularity = -popularity_exponent * np.log(ranks.astype(np.float64))
+
+    if n_genres is None:
+        n_genres = max(2, n_items // 12)
+    if n_genres:
+        genre_of_series = rng.integers(0, n_genres, size=n_series)
+        genre_weights = rng.dirichlet(np.full(n_genres, genre_concentration), size=n_users)
+        log_genre = genre_strength * np.log(genre_weights[:, genre_of_series] + 1e-12)
+    else:
+        log_genre = 0.0
+
+    counts = rng.poisson(lam=avg_ratings_per_user, size=n_users)
+    counts = np.clip(counts, min_ratings_per_user, n_items)
+
+    # Gumbel top-k over *series*: a consumer picks whole series (every
+    # volume gets rated) until her basket size is reached.
+    keys = (
+        log_popularity[None, :]
+        + log_genre
+        + preference_strength * affinity
+        + rng.gumbel(size=(n_users, n_series))
+    )
+    order = np.argsort(-keys, axis=1)
+
+    users_out: list[np.ndarray] = []
+    items_out: list[np.ndarray] = []
+    for user in range(n_users):
+        picked: list[np.ndarray] = []
+        total = 0
+        for series in order[user]:
+            picked.append(items_of_series[series])
+            total += series_len[series]
+            if total >= counts[user]:
+                break
+        chosen = np.concatenate(picked)
+        users_out.append(np.full(chosen.size, user, dtype=np.int64))
+        items_out.append(chosen)
+    user_ids = np.concatenate(users_out)
+    item_ids = np.concatenate(items_out)
+
+    scores = affinity[user_ids, series_of_item[item_ids]] + rng.normal(
+        scale=rating_dispersion, size=user_ids.size
+    )
+    ratings = _ratings_from_scores(scores, rating_marginal, rng)
+    return RatingsDataset(user_ids, item_ids, ratings, prices, rating_max=len(rating_marginal))
+
+
+def amazon_books_like(
+    n_users: int = 800,
+    n_items: int = 120,
+    seed=0,
+    kcore: int = 10,
+    **kwargs,
+) -> RatingsDataset:
+    """The default experiment dataset: scaled-down Books-like ratings.
+
+    Generates with :func:`generate_ratings` and applies the paper's
+    iterative k-core filter.  The returned dataset may therefore be
+    slightly smaller than requested (exactly like the paper's
+    preprocessing shrank the raw crawl).
+    """
+    dataset = generate_ratings(n_users, n_items, seed=seed, **kwargs)
+    if kcore:
+        dataset = dataset.kcore(kcore)
+    return dataset
+
+
+def paper_scale_dataset(seed=0) -> RatingsDataset:
+    """A dataset at the paper's full scale (4,449 × 5,028 before k-core).
+
+    Generation takes a few seconds and ~200 MB; the configuration
+    algorithms at this scale are a long-running job, matching the paper's
+    reported several-hundred-second runtimes on C++ — use the scaled
+    default for interactive work.
+    """
+    return amazon_books_like(n_users=4449, n_items=5028, seed=seed)

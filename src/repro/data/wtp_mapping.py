@@ -1,0 +1,54 @@
+"""Ratings → willingness to pay (paper, Section 6.1.1).
+
+The paper assumes a linear relationship between ratings and willingness to
+pay: if an item's listed price is ``p`` and the conversion factor is
+``λ ≥ 1``, the highest possible rating ``r_max`` corresponds to a WTP of
+``λ·p`` and any rating ``r`` maps to
+
+    w = (r / r_max) · λ · p.
+
+With λ=1.25 and p=$10: ratings 5,4,3,2,1 map to $12.50, $10.00, $7.50,
+$5.00, $2.50.  Unrated items map to zero WTP (the consumer is assumed not
+to want them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.wtp import WTPMatrix
+from repro.data.ratings import RatingsDataset
+from repro.errors import ValidationError
+
+#: Table 3 default: the λ at which Amazon's list pricing comes closest to
+#: optimal component pricing (Table 2).
+DEFAULT_LAMBDA = 1.25
+
+
+def wtp_from_ratings(
+    dataset: RatingsDataset,
+    conversion: float = DEFAULT_LAMBDA,
+    item_labels=None,
+) -> WTPMatrix:
+    """Build the dense M×N WTP matrix from a ratings dataset."""
+    if conversion < 1.0:
+        raise ValidationError(f"conversion factor λ must be >= 1, got {conversion}")
+    values = np.zeros((dataset.n_users, dataset.n_items), dtype=np.float64)
+    prices = dataset.item_prices[dataset.item_ids]
+    values[dataset.user_ids, dataset.item_ids] = (
+        dataset.ratings / dataset.rating_max * conversion * prices
+    )
+    return WTPMatrix(values, item_labels=item_labels)
+
+
+def list_price_revenue(dataset: RatingsDataset, wtp: WTPMatrix) -> float:
+    """Revenue of selling components at their *listed* prices.
+
+    This is the paper's "Amazon's pricing" baseline in Table 2: every item
+    is offered individually at its listed sales price, and a consumer buys
+    iff her willingness to pay reaches it.
+    """
+    if wtp.n_items != dataset.n_items:
+        raise ValidationError("WTP matrix and dataset disagree on the number of items")
+    buyers = (wtp.values >= dataset.item_prices[None, :]) & (wtp.values > 0)
+    return float((buyers * dataset.item_prices[None, :]).sum())

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still distinguishing failure modes when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or data structure failed validation.
+
+    Inherits from :class:`ValueError` so idiomatic ``except ValueError``
+    call sites keep working.
+    """
+
+
+class DataError(ReproError):
+    """A dataset is malformed, empty, or inconsistent."""
+
+
+class PricingError(ReproError):
+    """Pricing could not be carried out (e.g. empty price interval)."""
+
+
+class ConfigurationError(ReproError):
+    """A bundle configuration violates the problem's structural conditions.
+
+    Problem 1 (pure bundling) requires a strict partition of the item set;
+    Problem 2 (mixed bundling) requires a laminar family covering the item
+    set.  Violations of either raise this error.
+    """
+
+
+class SolverError(ReproError):
+    """An exact solver (branch-and-bound, DP) could not complete."""
+
+
+class InfeasibleError(SolverError):
+    """The instance admits no feasible solution under the given constraints."""

@@ -1,0 +1,74 @@
+"""Default parameter settings (paper, Table 3) and experiment scales.
+
+====================  =======================================  =============
+Notation              Description                              Default value
+====================  =======================================  =============
+λ (``LAMBDA``)        ratings → WTP conversion factor          1.25
+θ (``THETA``)         bundling coefficient (Equation 1)        0
+k (``K``)             max bundle size                          ∞ (``None``)
+γ (``GAMMA``)         stochastic sensitivity to price          1e6 (step)
+α (``ALPHA``)         stochastic bias for adoption             1 (unbiased)
+T (``PRICE_LEVELS``)  discretized price levels (Section 4.2)   100
+====================  =======================================  =============
+
+The paper runs on 4,449 users × 5,028 items; the default *bench scale*
+here is 800 × 120 (and 500 × 80 for the stochastic sweeps) so every
+table/figure regenerates in minutes of pure Python — see EXPERIMENTS.md
+for the scale discussion.
+"""
+
+from __future__ import annotations
+
+from repro.core.adoption import StepAdoption
+from repro.core.pricing import PriceGrid
+from repro.core.revenue import RevenueEngine
+from repro.core.wtp import WTPMatrix
+from repro.data.ratings import RatingsDataset
+from repro.data.synthetic import amazon_books_like
+from repro.data.wtp_mapping import wtp_from_ratings
+
+#: Table 3 defaults.
+LAMBDA = 1.25
+THETA = 0.0
+K = None
+GAMMA = 1.0e6
+ALPHA = 1.0
+PRICE_LEVELS = 100
+
+#: Default bench-scale dataset (scaled from the paper's 4,449 × 5,028).
+BENCH_USERS = 800
+BENCH_ITEMS = 120
+BENCH_SEED = 0
+
+#: Smaller scale for the stochastic (sigmoid) sweeps of Figures 3–4.
+SWEEP_USERS = 500
+SWEEP_ITEMS = 80
+
+
+def bench_dataset(
+    n_users: int = BENCH_USERS, n_items: int = BENCH_ITEMS, seed=BENCH_SEED, **kwargs
+) -> RatingsDataset:
+    """The default experiment dataset (seeded, k-core filtered)."""
+    return amazon_books_like(n_users=n_users, n_items=n_items, seed=seed, **kwargs)
+
+
+def bench_wtp(dataset: RatingsDataset | None = None, conversion: float = LAMBDA) -> WTPMatrix:
+    """WTP matrix of the default dataset under the Table 3 λ."""
+    if dataset is None:
+        dataset = bench_dataset()
+    return wtp_from_ratings(dataset, conversion=conversion)
+
+
+def default_engine(
+    wtp: WTPMatrix,
+    theta: float = THETA,
+    adoption=None,
+    n_levels: int = PRICE_LEVELS,
+) -> RevenueEngine:
+    """Engine under the Table 3 defaults (step adoption, 100 levels)."""
+    return RevenueEngine(
+        wtp,
+        theta=theta,
+        adoption=adoption or StepAdoption(),
+        grid=PriceGrid(n_levels=n_levels),
+    )

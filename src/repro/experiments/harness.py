@@ -1,0 +1,118 @@
+"""Shared machinery for running method sweeps (Section 6 experiments).
+
+An *experiment* runs a set of named algorithms against engines built for a
+sweep of parameter values, and collects the paper's two effectiveness
+metrics (revenue coverage and revenue gain over Components; Section 6.1.2)
+plus timing and iteration counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import BundlingResult
+from repro.algorithms.registry import make_algorithm
+from repro.core.evaluation import revenue_gain
+from repro.core.revenue import RevenueEngine
+from repro.utils.timer import Timer
+
+#: Order the paper's Figure 2 legend uses.
+FIGURE_METHODS = (
+    "components",
+    "pure_matching",
+    "pure_greedy",
+    "mixed_matching",
+    "mixed_greedy",
+    "pure_freqitemset",
+    "mixed_freqitemset",
+)
+
+
+@dataclass(frozen=True)
+class MethodRun:
+    """One algorithm run: the metrics every figure/table reports."""
+
+    method: str
+    revenue: float
+    coverage: float
+    gain: float
+    wall_time: float
+    iterations: int
+    result: BundlingResult = field(repr=False, compare=False)
+
+
+def run_methods(
+    engine: RevenueEngine,
+    methods=FIGURE_METHODS,
+    algo_kwargs: dict | None = None,
+) -> dict[str, MethodRun]:
+    """Run each method on *engine*; gains are against Components.
+
+    ``algo_kwargs`` maps method name → extra constructor kwargs (e.g.
+    ``{"pure_matching": {"k": 3}}``); ``"*"`` applies to every non-baseline
+    method.
+    """
+    algo_kwargs = algo_kwargs or {}
+    shared = algo_kwargs.get("*", {})
+    runs: dict[str, MethodRun] = {}
+
+    components = make_algorithm("components").fit(engine)
+    base_revenue = components.expected_revenue
+    runs["components"] = MethodRun(
+        method="components",
+        revenue=base_revenue,
+        coverage=components.coverage,
+        gain=0.0,
+        wall_time=components.wall_time,
+        iterations=0,
+        result=components,
+    )
+    for name in methods:
+        if name == "components" or name in runs:
+            continue
+        kwargs = dict(shared)
+        kwargs.update(algo_kwargs.get(name, {}))
+        with Timer() as timer:
+            result = make_algorithm(name, **kwargs).fit(engine)
+        runs[name] = MethodRun(
+            method=name,
+            revenue=result.expected_revenue,
+            coverage=result.coverage,
+            gain=revenue_gain(result.expected_revenue, base_revenue),
+            wall_time=timer.elapsed,
+            iterations=result.n_iterations,
+            result=result,
+        )
+    return runs
+
+
+@dataclass
+class Sweep:
+    """A parameter sweep: per-method series of coverage/gain/time."""
+
+    parameter: str
+    values: list
+    coverage: dict[str, list[float]] = field(default_factory=dict)
+    gain: dict[str, list[float]] = field(default_factory=dict)
+    time: dict[str, list[float]] = field(default_factory=dict)
+
+    def record(self, runs: dict[str, MethodRun]) -> None:
+        for name, run in runs.items():
+            self.coverage.setdefault(name, []).append(run.coverage)
+            self.gain.setdefault(name, []).append(run.gain)
+            self.time.setdefault(name, []).append(run.wall_time)
+
+
+def sweep_engines(
+    parameter: str,
+    values,
+    engine_factory,
+    methods=FIGURE_METHODS,
+    algo_kwargs: dict | None = None,
+) -> Sweep:
+    """Run *methods* against ``engine_factory(value)`` for each value."""
+    sweep = Sweep(parameter=parameter, values=list(values))
+    for value in values:
+        engine = engine_factory(value)
+        sweep.record(run_methods(engine, methods, algo_kwargs))
+    return sweep

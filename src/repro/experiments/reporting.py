@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's figures are line charts; a terminal reproduction reports the
+same series as aligned text tables (one row per x-value, one column per
+method), which is what the benchmark harness prints and archives.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+
+def format_cell(value, precision: int = 3) -> str:
+    """Human-friendly cell formatting (floats trimmed, None as dash)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    border = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(border)
+    for row in text_rows:
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render figure-style series: one column per named series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [values[index] for values in series.values()])
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def save_csv(path, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Persist a table as CSV (for downstream plotting)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,297 @@
+"""Regeneration of the paper's Tables 1, 2, 4, 5 and 6 (Section 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.components import Components, ComponentsListPrice
+from repro.algorithms.greedy import GreedyMerge
+from repro.algorithms.matching_iterative import IterativeMatching
+from repro.algorithms.setpacking import GreedyWSP, OptimalWSP
+from repro.core.pricing import PriceGrid
+from repro.core.revenue import RevenueEngine
+from repro.core.wtp import WTPMatrix
+from repro.data.ratings import RatingsDataset
+from repro.data.toy import TABLE1_THETA, table1_wtp, table6_wtp
+from repro.data.wtp_mapping import list_price_revenue, wtp_from_ratings
+from repro.errors import SolverError
+from repro.experiments import paper_values
+from repro.experiments.defaults import bench_dataset, default_engine
+from repro.experiments.reporting import render_table
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: headers + rows + renderer."""
+
+    table: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def render(self, precision: int = 2) -> str:
+        text = render_table(self.headers, self.rows, title=f"=== {self.table} ===",
+                            precision=precision)
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+
+# ------------------------------------------------------------------- table 1
+def table1() -> TableResult:
+    """The Table 1 worked example: Components vs Pure vs Mixed revenue.
+
+    The paper tables $27.00 / $30.40 / $38.20.  Components and Pure
+    reproduce exactly.  For Mixed, at the paper's prices (8, 11, 15.20)
+    the *naive* rule "buy the bundle whenever w_AB ≥ p_AB" yields $38.40
+    (≈ the tabled value), while the paper's own Section-4.2 upgrade rule —
+    which this library implements — makes u1 buy item A alone, yielding
+    $31.20.  Both numbers are reported.
+    """
+    wtp = table1_wtp()
+    engine = RevenueEngine(wtp, theta=TABLE1_THETA, grid=PriceGrid(mode="exact"))
+    components = Components().fit(engine).expected_revenue
+    pure = IterativeMatching(strategy="pure").fit(engine).expected_revenue
+    mixed_result = IterativeMatching(strategy="mixed").fit(engine)
+    mixed = mixed_result.expected_revenue
+
+    # Naive bundle-priority adoption at the same offers, for comparison.
+    naive = 0.0
+    offers = sorted(mixed_result.configuration.offers, key=lambda o: -o.bundle.size)
+    for user in range(wtp.n_users):
+        for offer in offers:
+            value = float(engine.bundle_wtp(offer.bundle)[user])
+            if value >= offer.price:
+                naive += offer.price
+                break
+
+    rows = [
+        ["Components", paper_values.TABLE1["components"], round(components, 2), None],
+        ["Pure bundling", paper_values.TABLE1["pure"], round(pure, 2), None],
+        ["Mixed bundling", paper_values.TABLE1["mixed"], round(mixed, 2), round(naive, 2)],
+    ]
+    return TableResult(
+        table="Table 1: bundling strategies on the worked example",
+        headers=["strategy", "paper revenue", "repro (upgrade rule)", "repro (naive rule)"],
+        rows=rows,
+        notes="Mixed: paper's 38.20 matches the naive affordability rule (38.40 "
+        "here); its own Section-4.2 upgrade semantics give 31.20.",
+    )
+
+
+# ------------------------------------------------------------------- table 2
+def table2(
+    lambdas=paper_values.TABLE2_LAMBDAS,
+    dataset: RatingsDataset | None = None,
+) -> TableResult:
+    """Revenue coverage at different λ: optimal vs Amazon list pricing."""
+    if dataset is None:
+        dataset = bench_dataset()
+    rows = []
+    optimal_series = []
+    amazon_series = []
+    for index, lam in enumerate(lambdas):
+        wtp = wtp_from_ratings(dataset, conversion=lam)
+        engine = default_engine(wtp)
+        optimal = Components().fit(engine).coverage * 100.0
+        amazon = ComponentsListPrice(dataset.item_prices).fit(engine).coverage * 100.0
+        optimal_series.append(optimal)
+        amazon_series.append(amazon)
+        rows.append(
+            [
+                lam,
+                paper_values.TABLE2_OPTIMAL[index],
+                round(optimal, 1),
+                paper_values.TABLE2_AMAZON[index],
+                round(amazon, 1),
+            ]
+        )
+    return TableResult(
+        table="Table 2: revenue coverage at different lambdas (percent)",
+        headers=["lambda", "paper optimal", "repro optimal", "paper amazon", "repro amazon"],
+        rows=rows,
+        notes="Optimal pricing is invariant to lambda; list pricing peaks at 1.25.",
+        extra={"optimal": optimal_series, "amazon": amazon_series},
+    )
+
+
+# --------------------------------------------------------------- tables 4, 5
+def table45(
+    sample_sizes=(8, 10, 12, 14),
+    n_samples: int = 5,
+    dataset: RatingsDataset | None = None,
+    include_bnb_up_to: int = 12,
+    seed=0,
+) -> TableResult:
+    """Comparison to weighted set packing (Tables 4 and 5, merged).
+
+    For each N, draws ``n_samples`` random item subsets (all users kept,
+    as in the paper), preferring samples where the heuristics build at
+    least one size-≥3 bundle, and reports mean revenue coverage and mean
+    running time per solver.  The exact "Optimal" column is the subset DP;
+    the branch-and-bound ILP stand-in runs up to ``include_bnb_up_to``
+    items.  Enumeration time (O(M·2^N), reported separately by the paper)
+    lands in ``extra``.
+    """
+    if dataset is None:
+        dataset = bench_dataset()
+    rng = ensure_rng(seed)
+    wtp_full = wtp_from_ratings(dataset)
+    solvers = ["pure_matching", "pure_greedy", "optimal_dp", "greedy_wsp"]
+    coverage: dict[str, dict[int, list[float]]] = {s: {} for s in solvers + ["optimal_bnb"]}
+    times: dict[str, dict[int, list[float]]] = {s: {} for s in solvers + ["optimal_bnb"]}
+    enum_times: dict[int, list[float]] = {}
+
+    for n in sample_sizes:
+        attempts = 0
+        accepted = 0
+        while accepted < n_samples and attempts < 8 * n_samples:
+            attempts += 1
+            items = sorted(rng.choice(dataset.n_items, size=n, replace=False).tolist())
+            engine = default_engine(wtp_full.subset_items(items))
+            with Timer() as t_pm:
+                pm = IterativeMatching(strategy="pure").fit(engine)
+            # Paper: "retain only the samples resulting in at least one
+            # bundle of size 3 or larger" (heuristics tested for k>=3).
+            if pm.configuration.max_bundle_size < 3 and attempts < 6 * n_samples:
+                continue
+            accepted += 1
+            with Timer() as t_pg:
+                pg = GreedyMerge(strategy="pure").fit(engine)
+            with Timer() as t_dp:
+                dp = OptimalWSP(method="dp").fit(engine)
+            with Timer() as t_gw:
+                gw = GreedyWSP().fit(engine)
+            coverage["pure_matching"].setdefault(n, []).append(pm.coverage)
+            coverage["pure_greedy"].setdefault(n, []).append(pg.coverage)
+            coverage["optimal_dp"].setdefault(n, []).append(dp.coverage)
+            coverage["greedy_wsp"].setdefault(n, []).append(gw.coverage)
+            times["pure_matching"].setdefault(n, []).append(t_pm.elapsed)
+            times["pure_greedy"].setdefault(n, []).append(t_pg.elapsed)
+            times["optimal_dp"].setdefault(n, []).append(dp.extra["solve_time"])
+            times["greedy_wsp"].setdefault(n, []).append(gw.extra["solve_time"])
+            enum_times.setdefault(n, []).append(dp.extra["enumeration_time"])
+            if n <= include_bnb_up_to:
+                try:
+                    with Timer() as t_bnb:
+                        bnb = OptimalWSP(method="bnb", node_limit=5_000_000).fit(engine)
+                    coverage["optimal_bnb"].setdefault(n, []).append(bnb.coverage)
+                    times["optimal_bnb"].setdefault(n, []).append(bnb.extra["solve_time"])
+                    # Paired DP coverage for the exactness cross-check.
+                    coverage.setdefault("dp_paired_with_bnb", {}).setdefault(n, []).append(
+                        dp.coverage
+                    )
+                except SolverError:
+                    pass  # the ILP stand-in hit its node limit, like the paper's N=25
+
+    def mean_or_none(store, solver, n):
+        values = store[solver].get(n)
+        if not values:
+            return None
+        return float(np.mean(values))
+
+    rows = []
+    for solver in solvers + ["optimal_bnb"]:
+        cov_row = [solver, "coverage %"]
+        time_row = [solver, "seconds"]
+        for n in sample_sizes:
+            cov = mean_or_none(coverage, solver, n)
+            cov_row.append(None if cov is None else round(100.0 * cov, 1))
+            sec = mean_or_none(times, solver, n)
+            time_row.append(None if sec is None else round(sec, 4))
+        rows.append(cov_row)
+        rows.append(time_row)
+    enum_row = ["enumeration", "seconds"] + [
+        round(float(np.mean(enum_times[n])), 4) if n in enum_times else None
+        for n in sample_sizes
+    ]
+    rows.append(enum_row)
+    return TableResult(
+        table="Tables 4+5: comparison to weighted set packing",
+        headers=["solver", "metric"] + [f"N={n}" for n in sample_sizes],
+        rows=rows,
+        notes="Paper (N=10..25): heuristics tie Optimal (78.1/77.8/77.9%), "
+        "Greedy WSP trails by >10 points; Optimal/Greedy WSP times explode.",
+        extra={"coverage": coverage, "times": times, "enumeration": enum_times},
+    )
+
+
+# ------------------------------------------------------------------- table 6
+def table6() -> TableResult:
+    """The mixed-bundling case study (Table 6), step by step.
+
+    Re-enacts the paper's narrative on the engineered three-book dataset:
+    individual pricing, all size-2 bundle candidates with their additional
+    buyers/revenue, the selection of (Two Little Lies, Born in Fire), and
+    the final size-3 bundle upgrade.
+    """
+    wtp = table6_wtp()
+    engine = RevenueEngine(wtp, theta=0.0, grid=PriceGrid(mode="exact"))
+    singles = engine.price_components()
+    labels = [wtp.label_of(i) for i in range(3)]
+
+    rows = []
+    for i, offer in enumerate(singles):
+        rows.append([labels[i], round(offer.price, 2), int(offer.buyers),
+                     round(offer.revenue, 2), True])
+
+    pair_merges = {}
+    for i in range(3):
+        for j in range(i + 1, 3):
+            merge = engine.mixed_merge(singles[i], singles[j])
+            pair_merges[(i, j)] = merge
+            title = f"({labels[i]}, {labels[j]})"
+            if merge.feasible:
+                rows.append([title, round(merge.price, 2), int(merge.upgraded),
+                             round(merge.gain, 2), None])
+            else:
+                rows.append([title, None, 0, 0.0, False])
+
+    best_pair = max(
+        (pair for pair, merge in pair_merges.items() if merge.feasible),
+        key=lambda pair: pair_merges[pair].gain,
+    )
+    for row in rows[3:]:
+        i, j = best_pair
+        row[4] = row[0] == f"({labels[i]}, {labels[j]})"
+
+    # Merge the winning pair with the remaining single into the size-3 bundle.
+    i, j = best_pair
+    winner = pair_merges[best_pair]
+    remaining = next(k for k in range(3) if k not in best_pair)
+    pair_offer_state = engine.merged_mixed_state(
+        winner, engine.offer_state(singles[i]) + engine.offer_state(singles[j])
+    )
+    from repro.core.pricing import PricedBundle
+
+    pair_offer = PricedBundle(winner.bundle, winner.price, winner.gain, winner.upgraded)
+    triple = engine.mixed_merge(
+        pair_offer, singles[remaining], pair_offer_state, engine.offer_state(singles[remaining])
+    )
+    rows.append(
+        [
+            f"({labels[0]}, {labels[1]}, {labels[2]})",
+            round(triple.price, 2) if triple.feasible else None,
+            int(triple.upgraded),
+            round(triple.gain, 2),
+            triple.feasible and triple.gain > 0,
+        ]
+    )
+
+    paper_rows = [
+        [" / ".join(bundle), price, buyers, revenue, selected]
+        for bundle, price, buyers, revenue, selected in paper_values.TABLE6
+    ]
+    return TableResult(
+        table="Table 6: mixed-bundling case study",
+        headers=["bundle", "price", "add. buyers", "add. revenue", "selected"],
+        rows=rows,
+        notes="Paper rows for comparison:\n"
+        + render_table(["bundle", "price", "add. buyers", "add. revenue", "selected"],
+                       paper_rows),
+    )

@@ -1,0 +1,14 @@
+"""Frequent-itemset mining substrate (stand-in for the paper's MAFIA)."""
+
+from repro.fim.apriori import apriori
+from repro.fim.eclat import eclat
+from repro.fim.mafia import filter_maximal, maximal_frequent_itemsets
+from repro.fim.transactions import TransactionDatabase
+
+__all__ = [
+    "TransactionDatabase",
+    "apriori",
+    "eclat",
+    "filter_maximal",
+    "maximal_frequent_itemsets",
+]

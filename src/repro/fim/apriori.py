@@ -1,0 +1,69 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994 — [2]).
+
+Level-wise candidate generation with the downward-closure prune.  Slow but
+simple and obviously correct — it is the reference the vertical miners are
+validated against in the test-suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.fim.transactions import TransactionDatabase
+
+
+def apriori(
+    db: TransactionDatabase,
+    minsup: float,
+    max_len: int | None = None,
+) -> dict[frozenset, int]:
+    """All frequent itemsets with relative support ≥ *minsup*.
+
+    Returns a mapping ``itemset → absolute support``.  ``max_len`` caps the
+    itemset size (useful when only candidates up to bundle size k matter).
+    """
+    threshold = db.absolute_minsup(minsup)
+    frequent: dict[frozenset, int] = {}
+
+    current: dict[frozenset, int] = {}
+    for item in range(db.n_items):
+        support = db.item_support(item)
+        if support >= threshold:
+            current[frozenset((item,))] = support
+    frequent.update(current)
+
+    size = 1
+    while current and (max_len is None or size < max_len):
+        size += 1
+        candidates = _generate_candidates(list(current.keys()), size)
+        current = {}
+        for candidate in candidates:
+            support = db.support(candidate)
+            if support >= threshold:
+                current[candidate] = support
+        frequent.update(current)
+    return frequent
+
+
+def _generate_candidates(previous: list[frozenset], size: int) -> list[frozenset]:
+    """Join step + prune step of Apriori.
+
+    Two (size−1)-itemsets sharing a (size−2)-prefix join into a size-sized
+    candidate; candidates with any infrequent (size−1)-subset are pruned.
+    """
+    previous_set = set(previous)
+    sorted_prev = sorted(tuple(sorted(itemset)) for itemset in previous)
+    candidates: list[frozenset] = []
+    for a_idx in range(len(sorted_prev)):
+        for b_idx in range(a_idx + 1, len(sorted_prev)):
+            first, second = sorted_prev[a_idx], sorted_prev[b_idx]
+            if first[:-1] != second[:-1]:
+                break  # sorted order: no later tuple shares this prefix
+            candidate = frozenset(first) | frozenset(second)
+            if len(candidate) != size:
+                continue
+            if all(
+                frozenset(sub) in previous_set for sub in combinations(sorted(candidate), size - 1)
+            ):
+                candidates.append(candidate)
+    return candidates

@@ -1,0 +1,40 @@
+"""Packed-bit vectors for transaction databases.
+
+Vertical mining (Eclat, MAFIA) lives on fast tidset intersections; packing
+transaction-id sets into ``uint8`` words gives numpy-speed AND + popcount
+(``np.bitwise_count``, NumPy ≥ 2.0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def pack_bool(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector into a ``uint8`` bit array."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise ValidationError(f"expected a 1-D boolean vector, got shape {mask.shape}")
+    return np.packbits(mask)
+
+
+def unpack_bool(bits: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool`, truncated to *length* entries."""
+    return np.unpackbits(bits, count=length).astype(bool)
+
+
+def popcount(bits: np.ndarray) -> int:
+    """Number of set bits in a packed array."""
+    return int(np.bitwise_count(bits).sum())
+
+
+def intersect(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Bitwise AND of two packed arrays (same length)."""
+    return first & second
+
+
+def intersection_count(first: np.ndarray, second: np.ndarray) -> int:
+    """Popcount of the intersection without materializing it twice."""
+    return int(np.bitwise_count(first & second).sum())

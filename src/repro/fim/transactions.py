@@ -1,0 +1,82 @@
+"""Transaction databases for frequent-itemset mining.
+
+The paper's bundling baseline treats the ratings data as transactions:
+"Each transaction corresponds to a consumer, containing the items for which
+this consumer has non-zero willingness to pay" (Section 6.1.3).  The
+database is stored *vertically*: one packed bitset of transaction ids per
+item, which makes support counting a popcount.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.wtp import WTPMatrix
+from repro.errors import DataError
+from repro.fim.bitset import pack_bool, popcount
+
+
+class TransactionDatabase:
+    """Vertical (item → packed tidset) transaction store."""
+
+    def __init__(self, transactions: Sequence[Iterable[int]], n_items: int) -> None:
+        if n_items <= 0:
+            raise DataError(f"n_items must be positive, got {n_items}")
+        self.n_items = int(n_items)
+        self.n_transactions = len(transactions)
+        if self.n_transactions == 0:
+            raise DataError("transaction database is empty")
+        dense = np.zeros((self.n_transactions, self.n_items), dtype=bool)
+        for row, transaction in enumerate(transactions):
+            for item in transaction:
+                if not 0 <= item < self.n_items:
+                    raise DataError(f"item {item} out of range in transaction {row}")
+                dense[row, item] = True
+        self._columns = [pack_bool(dense[:, i]) for i in range(self.n_items)]
+        self._item_support = np.array([popcount(col) for col in self._columns])
+
+    @classmethod
+    def from_wtp(cls, wtp: WTPMatrix) -> "TransactionDatabase":
+        """One transaction per consumer: items with positive WTP."""
+        dense = wtp.values > 0
+        instance = cls.__new__(cls)
+        instance.n_items = wtp.n_items
+        instance.n_transactions = wtp.n_users
+        instance._columns = [pack_bool(dense[:, i]) for i in range(wtp.n_items)]
+        instance._item_support = np.array([popcount(col) for col in instance._columns])
+        return instance
+
+    def tidset(self, item: int) -> np.ndarray:
+        """Packed transaction-id set of *item* (do not mutate)."""
+        return self._columns[item]
+
+    def item_support(self, item: int) -> int:
+        return int(self._item_support[item])
+
+    @property
+    def item_supports(self) -> np.ndarray:
+        return self._item_support.copy()
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Number of transactions containing every item of *itemset*."""
+        items = list(itemset)
+        if not items:
+            return self.n_transactions
+        acc = self._columns[items[0]].copy()
+        for item in items[1:]:
+            acc &= self._columns[item]
+        return popcount(acc)
+
+    def absolute_minsup(self, minsup: float) -> int:
+        """Convert a relative minimum support into an absolute count (≥ 1)."""
+        if minsup <= 0 or minsup > 1:
+            raise DataError(f"relative minsup must lie in (0, 1], got {minsup}")
+        return max(1, int(np.ceil(minsup * self.n_transactions)))
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDatabase(n_transactions={self.n_transactions}, "
+            f"n_items={self.n_items})"
+        )

@@ -1,0 +1,22 @@
+"""Exact combinatorial solvers (stand-in for the paper's Gurobi ILP)."""
+
+from repro.ilp.branch_and_bound import solve_branch_and_bound, solve_greedy
+from repro.ilp.dp import MAX_DP_ITEMS, optimal_partition, partition_items
+from repro.ilp.model import (
+    SetPackingProblem,
+    SetPackingSolution,
+    itemset_to_mask,
+    mask_to_items,
+)
+
+__all__ = [
+    "MAX_DP_ITEMS",
+    "SetPackingProblem",
+    "SetPackingSolution",
+    "itemset_to_mask",
+    "mask_to_items",
+    "optimal_partition",
+    "partition_items",
+    "solve_branch_and_bound",
+    "solve_greedy",
+]

@@ -1,0 +1,92 @@
+"""Weighted set packing problem model (paper, Section 5.2).
+
+Pure bundling over an enumerated candidate-bundle universe reduces to
+weighted set packing: choose pairwise-disjoint sets maximizing total
+weight.  The paper solves the exact formulation with a Gurobi ILP; this
+package's exact solvers (:mod:`repro.ilp.branch_and_bound` and
+:mod:`repro.ilp.dp`) are the offline stand-ins.
+
+Sets are stored as Python int bitmasks for O(1) disjointness tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+def itemset_to_mask(items: Iterable[int]) -> int:
+    """Encode an itemset as a bitmask."""
+    mask = 0
+    for item in items:
+        if item < 0:
+            raise ValidationError(f"items must be non-negative, got {item}")
+        mask |= 1 << item
+    return mask
+
+
+def mask_to_items(mask: int) -> tuple[int, ...]:
+    """Decode a bitmask back into a sorted item tuple."""
+    items = []
+    index = 0
+    while mask:
+        if mask & 1:
+            items.append(index)
+        mask >>= 1
+        index += 1
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class SetPackingProblem:
+    """K candidate sets with weights over n_items elements."""
+
+    n_items: int
+    masks: tuple[int, ...]
+    weights: tuple[float, ...]
+
+    @classmethod
+    def from_itemsets(
+        cls, n_items: int, itemsets: Sequence[Iterable[int]], weights: Sequence[float]
+    ) -> "SetPackingProblem":
+        if len(itemsets) != len(weights):
+            raise ValidationError("itemsets and weights must have the same length")
+        masks = tuple(itemset_to_mask(itemset) for itemset in itemsets)
+        full = (1 << n_items) - 1
+        for mask in masks:
+            if mask == 0:
+                raise ValidationError("empty sets are not allowed")
+            if mask & ~full:
+                raise ValidationError("set contains an item outside [0, n_items)")
+        return cls(n_items=n_items, masks=masks, weights=tuple(float(w) for w in weights))
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.masks)
+
+    def value_of(self, chosen: Iterable[int]) -> float:
+        """Total weight of a selection of set indices; checks disjointness."""
+        used = 0
+        total = 0.0
+        for index in chosen:
+            mask = self.masks[index]
+            if used & mask:
+                raise ValidationError("selection is not pairwise disjoint")
+            used |= mask
+            total += self.weights[index]
+        return total
+
+
+@dataclass(frozen=True)
+class SetPackingSolution:
+    """An (optimal or heuristic) packing: chosen set indices + total weight."""
+
+    chosen: tuple[int, ...]
+    weight: float
+    optimal: bool
+    nodes_explored: int = 0
+
+    def masks(self, problem: SetPackingProblem) -> tuple[int, ...]:
+        return tuple(problem.masks[index] for index in self.chosen)

@@ -1,0 +1,69 @@
+"""Interchangeable maximum-weight-matching backends.
+
+* ``"blossom"`` — our from-scratch Edmonds implementation (default; the
+  stand-in for the paper's LEMON library).
+* ``"networkx"`` — :func:`networkx.algorithms.matching.max_weight_matching`,
+  used as an independent cross-check.
+* ``"brute"`` — exhaustive search over matchings, exponential; only for
+  verifying the other two on small graphs.
+
+All backends return the matching as a set of ``(u, v)`` pairs with
+``u < v`` and maximize total weight *without* a cardinality constraint —
+vertices stay unmatched when no edge improves the objective, which is
+exactly how singleton bundles survive the 2-sized bundling reduction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.matching.blossom import matching_pairs, max_weight_matching
+
+BACKENDS = ("blossom", "networkx", "brute")
+
+
+def solve_matching(
+    edges: list[tuple[int, int, float]],
+    backend: str = "blossom",
+) -> set[tuple[int, int]]:
+    """Maximum-weight matching over weighted edges, via *backend*."""
+    if backend not in BACKENDS:
+        raise ValidationError(f"unknown matching backend {backend!r}; choose from {BACKENDS}")
+    if not edges:
+        return set()
+    if backend == "blossom":
+        mate = max_weight_matching(edges)
+        return matching_pairs(mate)
+    if backend == "networkx":
+        import networkx as nx
+
+        graph = nx.Graph()
+        for (u, v, weight) in edges:
+            graph.add_edge(u, v, weight=weight)
+        result = nx.algorithms.matching.max_weight_matching(graph, maxcardinality=False)
+        return {(min(u, v), max(u, v)) for (u, v) in result}
+    return _brute_force(edges)
+
+
+def _brute_force(edges: list[tuple[int, int, float]]) -> set[tuple[int, int]]:
+    """Exhaustive matching search; O(2^edges), test-scale only."""
+    if len(edges) > 24:
+        raise ValidationError("brute-force matching is limited to 24 edges")
+    best_weight = 0.0
+    best: set[tuple[int, int]] = set()
+
+    def recurse(index: int, used: set[int], chosen: list[tuple[int, int, float]], weight: float):
+        nonlocal best_weight, best
+        if weight > best_weight:
+            best_weight = weight
+            best = {(min(u, v), max(u, v)) for (u, v, _w) in chosen}
+        if index == len(edges):
+            return
+        recurse(index + 1, used, chosen, weight)
+        (u, v, w) = edges[index]
+        if u not in used and v not in used:
+            chosen.append(edges[index])
+            recurse(index + 1, used | {u, v}, chosen, weight + w)
+            chosen.pop()
+
+    recurse(0, set(), [], 0.0)
+    return best

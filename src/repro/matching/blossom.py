@@ -1,0 +1,502 @@
+"""Maximum-weight matching in general graphs (Edmonds' blossom algorithm).
+
+The paper reduces optimal 2-sized bundling to maximum-weight graph matching
+and solves it with the Edmonds algorithm via the LEMON C++ library
+(Section 5.1).  This module is the pure-Python equivalent: an O(n³)
+primal-dual implementation following Galil's exposition ("Efficient
+algorithms for finding maximal matchings in graphs", ACM Computing Surveys
+1986) in the style popularized by Joris van Rantwijk's reference
+implementation.
+
+The entry point is :func:`max_weight_matching`, which accepts a list of
+``(u, v, weight)`` edges and returns the matching as a ``mate`` list.
+Weights may be any finite numbers; only matchings with non-negative total
+weight are of interest to the bundling reduction (positive-gain edges), but
+the algorithm itself is fully general and optionally maximizes cardinality.
+
+Correctness is guarded by an optional expensive verification of the dual
+optimality conditions (:func:`verify_optimum` in the tests) and by
+cross-checks against networkx and brute force in the test-suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+INF = float("inf")
+
+
+def max_weight_matching(edges, maxcardinality: bool = False) -> list[int]:
+    """Compute a maximum-weight matching.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v, weight)`` with ``u != v`` non-negative vertex
+        ids.  Duplicate edges are not allowed.
+    maxcardinality:
+        When True, only maximum-cardinality matchings are considered (the
+        classic variant); the bundling reduction uses False, letting
+        vertices stay single when no positive-gain edge helps.
+
+    Returns
+    -------
+    list[int]
+        ``mate`` list: ``mate[v]`` is the vertex matched to ``v`` or ``-1``.
+    """
+    edges = [(int(i), int(j), wt) for (i, j, wt) in edges]
+    if not edges:
+        return []
+    for (i, j, _wt) in edges:
+        if i == j:
+            raise ValidationError(f"self-loop edge ({i}, {j}) is not allowed")
+        if i < 0 or j < 0:
+            raise ValidationError("vertex ids must be non-negative")
+
+    nedge = len(edges)
+    nvertex = 1 + max(max(i, j) for (i, j, _wt) in edges)
+
+    maxweight = max(0, max(wt for (_i, _j, wt) in edges))
+
+    # endpoint[p] is the vertex at endpoint p; edge k has endpoints 2k, 2k+1.
+    endpoint = [edges[p // 2][p % 2] for p in range(2 * nedge)]
+
+    # neighbend[v] lists the remote endpoints of edges incident to v.
+    neighbend: list[list[int]] = [[] for _ in range(nvertex)]
+    for k in range(nedge):
+        i, j, _wt = edges[k]
+        neighbend[i].append(2 * k + 1)
+        neighbend[j].append(2 * k)
+
+    # mate[v] is the remote endpoint of v's matched edge, or -1.
+    mate = [-1] * nvertex
+
+    # label[b]: 0 free, 1 S-vertex/blossom, 2 T-vertex/blossom.
+    label = [0] * (2 * nvertex)
+
+    # labelend[b] is the endpoint through which b received its label.
+    labelend = [-1] * (2 * nvertex)
+
+    # inblossom[v] is the top-level blossom containing vertex v.
+    inblossom = list(range(nvertex))
+
+    # blossomparent[b] is the immediate parent blossom of b, or -1.
+    blossomparent = [-1] * (2 * nvertex)
+
+    # blossomchilds[b] lists b's sub-blossoms, starting at the base.
+    blossomchilds: list[list[int] | None] = [None] * (2 * nvertex)
+
+    # blossombase[b] is b's base vertex.
+    blossombase = list(range(nvertex)) + [-1] * nvertex
+
+    # blossomendps[b] lists the endpoints on b's connecting edges.
+    blossomendps: list[list[int] | None] = [None] * (2 * nvertex)
+
+    # bestedge[b] is the least-slack edge to a different S-blossom, or -1.
+    bestedge = [-1] * (2 * nvertex)
+
+    # blossombestedges[b] caches least-slack edges per S-blossom (for b S).
+    blossombestedges: list[list[int] | None] = [None] * (2 * nvertex)
+
+    unusedblossoms = list(range(nvertex, 2 * nvertex))
+
+    # Dual variables: u(v) for vertices, z(b) for blossoms.
+    dualvar = [maxweight] * nvertex + [0] * nvertex
+
+    # allowedge[k] is True when edge k has zero slack (usable in the tree).
+    allowedge = [False] * nedge
+
+    queue: list[int] = []
+
+    def slack(k: int) -> float:
+        i, j, wt = edges[k]
+        return dualvar[i] + dualvar[j] - 2 * wt
+
+    def blossom_leaves(b: int):
+        if b < nvertex:
+            yield b
+        else:
+            childs = blossomchilds[b]
+            assert childs is not None
+            for t in childs:
+                if t < nvertex:
+                    yield t
+                else:
+                    yield from blossom_leaves(t)
+
+    def assign_label(w: int, t: int, p: int) -> None:
+        b = inblossom[w]
+        assert label[w] == 0 and label[b] == 0
+        label[w] = label[b] = t
+        labelend[w] = labelend[b] = p
+        bestedge[w] = bestedge[b] = -1
+        if t == 1:
+            queue.extend(blossom_leaves(b))
+        elif t == 2:
+            base = blossombase[b]
+            assert mate[base] >= 0
+            assign_label(endpoint[mate[base]], 1, mate[base] ^ 1)
+
+    def scan_blossom(v: int, w: int) -> int:
+        """Trace back from v and w to find a common ancestor or augmenting path."""
+        path = []
+        base = -1
+        while v != -1 or w != -1:
+            b = inblossom[v]
+            if label[b] & 4:
+                base = blossombase[b]
+                break
+            assert label[b] == 1
+            path.append(b)
+            label[b] = 5
+            assert labelend[b] == mate[blossombase[b]]
+            if labelend[b] == -1:
+                v = -1
+            else:
+                v = endpoint[labelend[b]]
+                b = inblossom[v]
+                assert label[b] == 2
+                assert labelend[b] >= 0
+                v = endpoint[labelend[b]]
+            if w != -1:
+                v, w = w, v
+        for b in path:
+            label[b] = 1
+        return base
+
+    def add_blossom(base: int, k: int) -> None:
+        (v, w, _wt) = edges[k]
+        bb = inblossom[base]
+        bv = inblossom[v]
+        bw = inblossom[w]
+        b = unusedblossoms.pop()
+        blossombase[b] = base
+        blossomparent[b] = -1
+        blossomparent[bb] = b
+        path: list[int] = []
+        endps: list[int] = []
+        blossomchilds[b] = path
+        blossomendps[b] = endps
+        while bv != bb:
+            blossomparent[bv] = b
+            path.append(bv)
+            endps.append(labelend[bv])
+            assert label[bv] == 2 or (label[bv] == 1 and labelend[bv] == mate[blossombase[bv]])
+            assert labelend[bv] >= 0
+            v = endpoint[labelend[bv]]
+            bv = inblossom[v]
+        path.append(bb)
+        path.reverse()
+        endps.reverse()
+        endps.append(2 * k)
+        while bw != bb:
+            blossomparent[bw] = b
+            path.append(bw)
+            endps.append(labelend[bw] ^ 1)
+            assert label[bw] == 2 or (label[bw] == 1 and labelend[bw] == mate[blossombase[bw]])
+            assert labelend[bw] >= 0
+            w = endpoint[labelend[bw]]
+            bw = inblossom[w]
+        assert label[bb] == 1
+        label[b] = 1
+        labelend[b] = labelend[bb]
+        dualvar[b] = 0
+        for leaf in blossom_leaves(b):
+            if label[inblossom[leaf]] == 2:
+                queue.append(leaf)
+            inblossom[leaf] = b
+        bestedgeto = [-1] * (2 * nvertex)
+        for bv in path:
+            if blossombestedges[bv] is None:
+                nblists = [
+                    [p // 2 for p in neighbend[leaf]] for leaf in blossom_leaves(bv)
+                ]
+            else:
+                nblists = [blossombestedges[bv]]
+            for nblist in nblists:
+                for k2 in nblist:
+                    (i, j, _w2) = edges[k2]
+                    if inblossom[j] == b:
+                        i, j = j, i
+                    bj = inblossom[j]
+                    if (
+                        bj != b
+                        and label[bj] == 1
+                        and (bestedgeto[bj] == -1 or slack(k2) < slack(bestedgeto[bj]))
+                    ):
+                        bestedgeto[bj] = k2
+            blossombestedges[bv] = None
+            bestedge[bv] = -1
+        blossombestedges[b] = [k2 for k2 in bestedgeto if k2 != -1]
+        bestedge[b] = -1
+        for k2 in blossombestedges[b]:
+            if bestedge[b] == -1 or slack(k2) < slack(bestedge[b]):
+                bestedge[b] = k2
+
+    def expand_blossom(b: int, endstage: bool) -> None:
+        childs = blossomchilds[b]
+        endps = blossomendps[b]
+        assert childs is not None and endps is not None
+        for s in childs:
+            blossomparent[s] = -1
+            if s < nvertex:
+                inblossom[s] = s
+            elif endstage and dualvar[s] == 0:
+                expand_blossom(s, endstage)
+            else:
+                for leaf in blossom_leaves(s):
+                    inblossom[leaf] = s
+        if (not endstage) and label[b] == 2:
+            assert labelend[b] >= 0
+            entrychild = inblossom[endpoint[labelend[b] ^ 1]]
+            j = childs.index(entrychild)
+            if j & 1:
+                j -= len(childs)
+                jstep = 1
+                endptrick = 0
+            else:
+                jstep = -1
+                endptrick = 1
+            p = labelend[b]
+            while j != 0:
+                label[endpoint[p ^ 1]] = 0
+                label[endpoint[endps[j - endptrick] ^ endptrick ^ 1]] = 0
+                assign_label(endpoint[p ^ 1], 2, p)
+                allowedge[endps[j - endptrick] // 2] = True
+                j += jstep
+                p = endps[j - endptrick] ^ endptrick
+                allowedge[p // 2] = True
+                j += jstep
+            bv = childs[j]
+            label[endpoint[p ^ 1]] = label[bv] = 2
+            labelend[endpoint[p ^ 1]] = labelend[bv] = p
+            bestedge[bv] = -1
+            j += jstep
+            while childs[j] != entrychild:
+                bv = childs[j]
+                if label[bv] == 1:
+                    j += jstep
+                    continue
+                for v in blossom_leaves(bv):
+                    if label[v] != 0:
+                        break
+                else:
+                    v = -1
+                if v != -1:
+                    assert label[v] == 2
+                    assert inblossom[v] == bv
+                    label[v] = 0
+                    label[endpoint[mate[blossombase[bv]]]] = 0
+                    assign_label(v, 2, labelend[v])
+                j += jstep
+        label[b] = labelend[b] = -1
+        blossomchilds[b] = blossomendps[b] = None
+        blossombase[b] = -1
+        blossombestedges[b] = None
+        bestedge[b] = -1
+        unusedblossoms.append(b)
+
+    def augment_blossom(b: int, v: int) -> None:
+        t = v
+        while blossomparent[t] != b:
+            t = blossomparent[t]
+        if t >= nvertex:
+            augment_blossom(t, v)
+        childs = blossomchilds[b]
+        endps = blossomendps[b]
+        assert childs is not None and endps is not None
+        i = j = childs.index(t)
+        if i & 1:
+            j -= len(childs)
+            jstep = 1
+            endptrick = 0
+        else:
+            jstep = -1
+            endptrick = 1
+        while j != 0:
+            j += jstep
+            t = childs[j]
+            p = endps[j - endptrick] ^ endptrick
+            if t >= nvertex:
+                augment_blossom(t, endpoint[p])
+            j += jstep
+            t = childs[j]
+            if t >= nvertex:
+                augment_blossom(t, endpoint[p ^ 1])
+            mate[endpoint[p]] = p ^ 1
+            mate[endpoint[p ^ 1]] = p
+        childs[:] = childs[i:] + childs[:i]
+        endps[:] = endps[i:] + endps[:i]
+        blossombase[b] = blossombase[childs[0]]
+        assert blossombase[b] == v
+
+    def augment_matching(k: int) -> None:
+        (v, w, _wt) = edges[k]
+        for (s, p) in ((v, 2 * k + 1), (w, 2 * k)):
+            while True:
+                bs = inblossom[s]
+                assert label[bs] == 1
+                assert labelend[bs] == mate[blossombase[bs]]
+                if bs >= nvertex:
+                    augment_blossom(bs, s)
+                mate[s] = p
+                if labelend[bs] == -1:
+                    break
+                t = endpoint[labelend[bs]]
+                bt = inblossom[t]
+                assert label[bt] == 2
+                assert labelend[bt] >= 0
+                s = endpoint[labelend[bt]]
+                j = endpoint[labelend[bt] ^ 1]
+                assert blossombase[bt] == t
+                if bt >= nvertex:
+                    augment_blossom(bt, j)
+                mate[j] = labelend[bt]
+                p = labelend[bt] ^ 1
+
+    # Main loop: one stage per augmentation.
+    for _t in range(nvertex):
+        label[:] = [0] * (2 * nvertex)
+        bestedge[:] = [-1] * (2 * nvertex)
+        for i in range(nvertex, 2 * nvertex):
+            blossombestedges[i] = None
+        allowedge[:] = [False] * nedge
+        queue[:] = []
+
+        for v in range(nvertex):
+            if mate[v] == -1 and label[inblossom[v]] == 0:
+                assign_label(v, 1, -1)
+
+        augmented = False
+        while True:
+            while queue and not augmented:
+                v = queue.pop()
+                assert label[inblossom[v]] == 1
+                for p in neighbend[v]:
+                    k = p // 2
+                    w = endpoint[p]
+                    if inblossom[v] == inblossom[w]:
+                        continue
+                    if not allowedge[k]:
+                        kslack = slack(k)
+                        if kslack <= 0:
+                            allowedge[k] = True
+                    if allowedge[k]:
+                        if label[inblossom[w]] == 0:
+                            assign_label(w, 2, p ^ 1)
+                        elif label[inblossom[w]] == 1:
+                            base = scan_blossom(v, w)
+                            if base >= 0:
+                                add_blossom(base, k)
+                            else:
+                                augment_matching(k)
+                                augmented = True
+                                break
+                        elif label[w] == 0:
+                            assert label[inblossom[w]] == 2
+                            label[w] = 2
+                            labelend[w] = p ^ 1
+                    elif label[inblossom[w]] == 1:
+                        b = inblossom[v]
+                        if bestedge[b] == -1 or kslack < slack(bestedge[b]):
+                            bestedge[b] = k
+                    elif label[w] == 0:
+                        if bestedge[w] == -1 or kslack < slack(bestedge[w]):
+                            bestedge[w] = k
+
+            if augmented:
+                break
+
+            # No augmenting path under the current duals: adjust them.
+            deltatype = -1
+            delta = deltaedge = deltablossom = None
+            if not maxcardinality:
+                deltatype = 1
+                delta = min(dualvar[:nvertex])
+            for v in range(nvertex):
+                if label[inblossom[v]] == 0 and bestedge[v] != -1:
+                    d = slack(bestedge[v])
+                    if deltatype == -1 or d < delta:
+                        delta = d
+                        deltatype = 2
+                        deltaedge = bestedge[v]
+            for b in range(2 * nvertex):
+                if blossomparent[b] == -1 and label[b] == 1 and bestedge[b] != -1:
+                    kslack = slack(bestedge[b])
+                    d = kslack / 2
+                    if deltatype == -1 or d < delta:
+                        delta = d
+                        deltatype = 3
+                        deltaedge = bestedge[b]
+            for b in range(nvertex, 2 * nvertex):
+                if (
+                    blossombase[b] >= 0
+                    and blossomparent[b] == -1
+                    and label[b] == 2
+                    and (deltatype == -1 or dualvar[b] < delta)
+                ):
+                    delta = dualvar[b]
+                    deltatype = 4
+                    deltablossom = b
+            if deltatype == -1:
+                # No further progress possible (maxcardinality path).
+                deltatype = 1
+                delta = max(0, min(dualvar[:nvertex]))
+
+            for v in range(nvertex):
+                if label[inblossom[v]] == 1:
+                    dualvar[v] -= delta
+                elif label[inblossom[v]] == 2:
+                    dualvar[v] += delta
+            for b in range(nvertex, 2 * nvertex):
+                if blossombase[b] >= 0 and blossomparent[b] == -1:
+                    if label[b] == 1:
+                        dualvar[b] += delta
+                    elif label[b] == 2:
+                        dualvar[b] -= delta
+
+            if deltatype == 1:
+                break
+            elif deltatype == 2:
+                allowedge[deltaedge] = True
+                (i, j, _wt) = edges[deltaedge]
+                if label[inblossom[i]] == 0:
+                    i, j = j, i
+                assert label[inblossom[i]] == 1
+                queue.append(i)
+            elif deltatype == 3:
+                allowedge[deltaedge] = True
+                (i, j, _wt) = edges[deltaedge]
+                assert label[inblossom[i]] == 1
+                queue.append(i)
+            elif deltatype == 4:
+                expand_blossom(deltablossom, False)
+
+        if not augmented:
+            break
+
+        for b in range(nvertex, 2 * nvertex):
+            if blossomparent[b] == -1 and blossombase[b] >= 0 and label[b] == 1 and dualvar[b] == 0:
+                expand_blossom(b, True)
+
+    for v in range(nvertex):
+        if mate[v] >= 0:
+            mate[v] = endpoint[mate[v]]
+    for v in range(nvertex):
+        assert mate[v] == -1 or mate[mate[v]] == v
+
+    return mate
+
+
+def matching_weight(edges, mate: list[int]) -> float:
+    """Total weight of the matching encoded by a ``mate`` list."""
+    total = 0.0
+    for (i, j, wt) in edges:
+        if 0 <= i < len(mate) and mate[i] == j:
+            total += wt
+    return total
+
+
+def matching_pairs(mate: list[int]) -> set[tuple[int, int]]:
+    """The matching as a set of ``(u, v)`` pairs with ``u < v``."""
+    return {(v, mate[v]) for v in range(len(mate)) if 0 <= mate[v] and v < mate[v]}

@@ -1,0 +1,43 @@
+"""A minimal weighted-graph container for the matching reduction."""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+class WeightedGraph:
+    """Undirected weighted graph on vertices ``0 .. n_vertices-1``.
+
+    Keeps edges in insertion order; rejects self-loops and duplicates
+    (the bundling reduction handles singletons by leaving a vertex
+    unmatched, not by self-loops).
+    """
+
+    def __init__(self, n_vertices: int) -> None:
+        if n_vertices < 0:
+            raise ValidationError(f"n_vertices must be >= 0, got {n_vertices}")
+        self.n_vertices = int(n_vertices)
+        self._edges: list[tuple[int, int, float]] = []
+        self._seen: set[tuple[int, int]] = set()
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        if not (0 <= u < self.n_vertices and 0 <= v < self.n_vertices):
+            raise ValidationError(f"edge ({u}, {v}) out of range for n={self.n_vertices}")
+        if u == v:
+            raise ValidationError(f"self-loop on vertex {u} is not allowed")
+        key = (min(u, v), max(u, v))
+        if key in self._seen:
+            raise ValidationError(f"duplicate edge {key}")
+        self._seen.add(key)
+        self._edges.append((u, v, float(weight)))
+
+    @property
+    def edges(self) -> list[tuple[int, int, float]]:
+        return list(self._edges)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n_vertices={self.n_vertices}, n_edges={self.n_edges})"

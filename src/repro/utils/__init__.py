@@ -1,0 +1,20 @@
+"""Shared utilities: validation, timing, RNG handling, text rendering."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "Timer",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "ensure_rng",
+    "spawn_rngs",
+]

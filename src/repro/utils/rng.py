@@ -1,0 +1,41 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`.  Routing everything through
+:func:`ensure_rng` keeps experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` yields a fresh non-deterministic generator; an ``int`` or
+    :class:`numpy.random.SeedSequence` yields a deterministic one; a
+    ``Generator`` is passed through unchanged so callers can share state.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
+    """Derive *count* independent generators from one seed.
+
+    Used by experiments that average over several stochastic runs: each run
+    gets its own stream, so run ``i`` is reproducible regardless of how many
+    total runs were requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn from the generator's own seed sequence for independence.
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,45 @@
+"""A small wall-clock timer used by algorithm traces and experiments."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch measuring wall-clock seconds.
+
+    Usage::
+
+        with Timer() as timer:
+            do_work()
+        print(timer.elapsed)
+
+    The timer can also be used incrementally via :meth:`lap`, which returns
+    seconds since construction (or since entering the context).
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._elapsed = time.perf_counter() - self._start
+
+    def lap(self) -> float:
+        """Seconds elapsed so far without stopping the timer."""
+        return time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds measured; valid after the context exits."""
+        if self._elapsed is None:
+            return self.lap()
+        return self._elapsed
+
+    def __repr__(self) -> str:
+        return f"Timer(elapsed={self.elapsed:.6f}s)"

@@ -1,0 +1,42 @@
+"""Argument-validation helpers shared across the package.
+
+These helpers raise :class:`repro.errors.ValidationError` with a message that
+names the offending argument, which keeps call sites one line long and error
+messages uniform.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` (and finite); return it."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate ``value >= 0`` (and finite); return it."""
+    if not math.isfinite(value) or value < 0:
+        raise ValidationError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate ``0 <= value <= 1``; return it."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer; return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    return int(value)

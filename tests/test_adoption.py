@@ -1,0 +1,125 @@
+"""Unit tests for the adoption models (Equation 6, Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import (
+    PAPER_EPSILON,
+    PAPER_STEP_GAMMA,
+    SigmoidAdoption,
+    StepAdoption,
+    decision_tolerance,
+)
+from repro.errors import ValidationError
+
+
+class TestSigmoid:
+    def test_probability_half_at_wtp_equals_price(self):
+        model = SigmoidAdoption(gamma=1.0)
+        assert model.probability(np.array([10.0]), 10.0)[0] == pytest.approx(0.5)
+
+    def test_probability_decreases_with_price(self):
+        model = SigmoidAdoption(gamma=2.0)
+        wtp = np.array([10.0])
+        probs = [model.probability(wtp, p)[0] for p in (5.0, 10.0, 15.0)]
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_probability_increases_with_wtp(self):
+        model = SigmoidAdoption()
+        probs = model.probability(np.array([1.0, 5.0, 20.0]), 10.0)
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_gamma_steepens_curve(self):
+        flat = SigmoidAdoption(gamma=0.1)
+        steep = SigmoidAdoption(gamma=10.0)
+        wtp = np.array([10.0])
+        assert steep.probability(wtp, 12.0)[0] < flat.probability(wtp, 12.0)[0]
+        assert steep.probability(wtp, 8.0)[0] > flat.probability(wtp, 8.0)[0]
+
+    def test_alpha_biases_toward_adoption(self):
+        base = SigmoidAdoption(alpha=1.0)
+        eager = SigmoidAdoption(alpha=1.25)
+        wtp = np.array([10.0])
+        for price in (5.0, 10.0, 15.0):
+            assert eager.probability(wtp, price)[0] > base.probability(wtp, price)[0]
+
+    def test_extreme_arguments_do_not_overflow(self):
+        model = SigmoidAdoption(gamma=PAPER_STEP_GAMMA, epsilon=PAPER_EPSILON)
+        probs = model.probability(np.array([0.0, 1e9]), 100.0)
+        assert np.all(np.isfinite(probs))
+        assert probs[0] == pytest.approx(0.0, abs=1e-200)
+        assert probs[1] == pytest.approx(1.0)
+
+    def test_step_like_factory(self):
+        model = SigmoidAdoption.step_like()
+        assert model.gamma == PAPER_STEP_GAMMA
+        assert model.epsilon == PAPER_EPSILON
+
+    def test_sampling_matches_probability(self, rng):
+        model = SigmoidAdoption(gamma=0.5)
+        wtp = np.full(20000, 10.0)
+        draws = model.sample(wtp, 11.0, rng)
+        expected = model.probability(np.array([10.0]), 11.0)[0]
+        assert abs(draws.mean() - expected) < 0.02
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            SigmoidAdoption(gamma=0.0)
+        with pytest.raises(ValidationError):
+            SigmoidAdoption(alpha=-1.0)
+        with pytest.raises(ValidationError):
+            SigmoidAdoption(epsilon=-0.5)
+
+    def test_is_not_deterministic(self):
+        assert not SigmoidAdoption().is_deterministic
+
+
+class TestStep:
+    def test_adopts_iff_wtp_at_least_price(self):
+        model = StepAdoption()
+        probs = model.probability(np.array([5.0, 10.0, 15.0]), 10.0)
+        np.testing.assert_array_equal(probs, [0.0, 1.0, 1.0])
+
+    def test_alpha_shifts_threshold(self):
+        model = StepAdoption(alpha=1.25)
+        # threshold becomes p / alpha = 8.
+        probs = model.probability(np.array([7.9, 8.0, 9.0]), 10.0)
+        np.testing.assert_array_equal(probs, [0.0, 1.0, 1.0])
+
+    def test_epsilon_breaks_boundary_up(self):
+        model = StepAdoption(epsilon=0.5)
+        assert model.probability(np.array([9.6]), 10.0)[0] == 1.0
+
+    def test_sample_is_deterministic(self):
+        model = StepAdoption()
+        wtp = np.array([5.0, 15.0])
+        first = model.sample(wtp, 10.0)
+        second = model.sample(wtp, 10.0)
+        np.testing.assert_array_equal(first, second)
+
+    def test_ulp_tolerance_at_grid_boundary(self):
+        # A price one ulp above the WTP value must still count the buyer.
+        model = StepAdoption()
+        wtp = np.array([12.5])
+        price = np.nextafter(12.5, 13.0)
+        assert model.probability(wtp, price)[0] == 1.0
+
+    def test_is_deterministic(self):
+        assert StepAdoption().is_deterministic
+
+    def test_matches_sigmoid_limit(self, rng):
+        step = StepAdoption()
+        huge = SigmoidAdoption(gamma=1e8)
+        wtp = rng.uniform(0, 20, size=200)
+        price = 9.37  # avoid exact boundaries
+        np.testing.assert_array_equal(
+            step.probability(wtp, price), np.round(huge.probability(wtp, price))
+        )
+
+
+class TestDecisionTolerance:
+    def test_scales_with_price(self):
+        assert decision_tolerance(1e6) > decision_tolerance(1.0)
+
+    def test_is_tiny_relative_to_price(self):
+        assert decision_tolerance(100.0) < 1e-6

@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.core.bundle`."""
+
+import pytest
+
+from repro.core.bundle import Bundle, validate_laminar, validate_partition
+from repro.errors import ValidationError
+
+
+class TestBundleConstruction:
+    def test_items_are_sorted_and_deduplicated(self):
+        assert Bundle([3, 1, 3, 2]).items == (1, 2, 3)
+
+    def test_of_constructor(self):
+        assert Bundle.of(5, 2).items == (2, 5)
+
+    def test_singleton(self):
+        bundle = Bundle.singleton(4)
+        assert bundle.items == (4,)
+        assert bundle.is_singleton()
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValidationError):
+            Bundle([])
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(ValidationError):
+            Bundle([-1])
+
+    def test_non_int_item_rejected(self):
+        with pytest.raises(ValidationError):
+            Bundle([1.5])
+
+    def test_bool_item_rejected(self):
+        with pytest.raises(ValidationError):
+            Bundle([True])
+
+
+class TestBundleAlgebra:
+    def test_union_operator(self):
+        assert (Bundle.of(1) | Bundle.of(2, 3)).items == (1, 2, 3)
+
+    def test_union_overlapping(self):
+        assert (Bundle.of(1, 2) | Bundle.of(2, 3)).items == (1, 2, 3)
+
+    def test_intersects(self):
+        assert Bundle.of(1, 2).intersects(Bundle.of(2, 5))
+        assert not Bundle.of(1, 2).intersects(Bundle.of(3))
+
+    def test_isdisjoint(self):
+        assert Bundle.of(1).isdisjoint(Bundle.of(2))
+        assert not Bundle.of(1, 4).isdisjoint(Bundle.of(4))
+
+    def test_issubset(self):
+        assert Bundle.of(1).issubset(Bundle.of(1, 2))
+        assert Bundle.of(1, 2).issubset(Bundle.of(1, 2))
+        assert not Bundle.of(1, 3).issubset(Bundle.of(1, 2))
+
+    def test_contains_and_iter(self):
+        bundle = Bundle.of(2, 7)
+        assert 7 in bundle and 3 not in bundle
+        assert list(bundle) == [2, 7]
+        assert len(bundle) == 2
+
+    def test_size_property(self):
+        assert Bundle.of(1, 2, 3).size == 3
+
+
+class TestBundleEquality:
+    def test_equality_and_hash(self):
+        assert Bundle([1, 2]) == Bundle([2, 1])
+        assert hash(Bundle([1, 2])) == hash(Bundle([2, 1]))
+        assert Bundle([1]) != Bundle([2])
+
+    def test_usable_as_dict_key(self):
+        cache = {Bundle.of(1, 2): "x"}
+        assert cache[Bundle.of(2, 1)] == "x"
+
+    def test_ordering_is_deterministic(self):
+        bundles = [Bundle.of(2), Bundle.of(1, 3), Bundle.of(1, 2)]
+        assert sorted(bundles) == [Bundle.of(1, 2), Bundle.of(1, 3), Bundle.of(2)]
+
+    def test_equality_with_non_bundle(self):
+        assert Bundle.of(1) != "not a bundle"
+
+    def test_repr_mentions_items(self):
+        assert "1, 2" in repr(Bundle.of(1, 2))
+
+
+class TestValidatePartition:
+    def test_valid_partition_passes(self):
+        validate_partition([Bundle.of(0, 1), Bundle.of(2)], 3)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValidationError, match="more than one"):
+            validate_partition([Bundle.of(0, 1), Bundle.of(1, 2)], 3)
+
+    def test_missing_item_rejected(self):
+        with pytest.raises(ValidationError, match="not covered"):
+            validate_partition([Bundle.of(0)], 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_partition([Bundle.of(0, 5)], 2)
+
+
+class TestValidateLaminar:
+    def test_nested_family_passes(self):
+        validate_laminar([Bundle.of(0), Bundle.of(1), Bundle.of(0, 1)], 2)
+
+    def test_partition_is_laminar(self):
+        validate_laminar([Bundle.of(0, 1), Bundle.of(2)], 3)
+
+    def test_crossing_bundles_rejected(self):
+        with pytest.raises(ValidationError, match="overlap without nesting"):
+            validate_laminar([Bundle.of(0, 1), Bundle.of(1, 2), Bundle.of(0), Bundle.of(2)], 3)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_laminar([Bundle.of(0), Bundle.of(0), Bundle.of(1)], 2)
+
+    def test_uncovered_item_rejected(self):
+        with pytest.raises(ValidationError, match="not covered"):
+            validate_laminar([Bundle.of(0)], 2)

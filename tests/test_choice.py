@@ -1,0 +1,233 @@
+"""Unit tests for the consumer-choice layer (forests, states, MNL)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import SigmoidAdoption, StepAdoption
+from repro.core.bundle import Bundle
+from repro.core.choice import (
+    SubtreeState,
+    build_forest,
+    choose_mnl_enumerated,
+    enumerate_antichains,
+    evaluate_forest,
+    merged_state,
+    sample_forest,
+    singleton_state,
+    upgrade_probability,
+)
+from repro.core.pricing import PricedBundle
+from repro.errors import ConfigurationError
+
+
+def offer(items, price):
+    return PricedBundle(Bundle(items), price, 0.0, 0.0)
+
+
+def wtp_lookup(matrix):
+    values = np.asarray(matrix, dtype=np.float64)
+
+    def lookup(bundle: Bundle) -> np.ndarray:
+        return values[:, list(bundle.items)].sum(axis=1)
+
+    return lookup
+
+
+class TestBuildForest:
+    def test_flat_offers_are_roots(self):
+        roots = build_forest([offer([0], 1.0), offer([1], 2.0)])
+        assert len(roots) == 2
+        assert all(not r.children for r in roots)
+
+    def test_nesting(self):
+        roots = build_forest([offer([0], 1.0), offer([1], 1.0), offer([0, 1], 1.5)])
+        assert len(roots) == 1
+        assert roots[0].bundle == Bundle.of(0, 1)
+        assert {c.bundle for c in roots[0].children} == {Bundle.of(0), Bundle.of(1)}
+
+    def test_deep_nesting_parents_are_smallest_supersets(self):
+        roots = build_forest(
+            [offer([0], 1), offer([0, 1], 2), offer([0, 1, 2], 3), offer([2], 1)]
+        )
+        assert len(roots) == 1
+        top = roots[0]
+        assert {c.bundle for c in top.children} == {Bundle.of(0, 1), Bundle.of(2)}
+        middle = next(c for c in top.children if c.bundle == Bundle.of(0, 1))
+        assert [c.bundle for c in middle.children] == [Bundle.of(0)]
+
+    def test_duplicate_offer_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            build_forest([offer([0], 1.0), offer([0], 2.0)])
+
+    def test_crossing_offers_rejected(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            build_forest([offer([0, 1], 1.0), offer([1, 2], 1.0)])
+
+    def test_descendants_preorder(self):
+        roots = build_forest([offer([0], 1), offer([1], 1), offer([0, 1], 2)])
+        names = [node.bundle for node in roots[0].descendants()]
+        assert names[0] == Bundle.of(0, 1) and len(names) == 3
+
+
+class TestSubtreeStateDeterministic:
+    def test_singleton_state(self):
+        state = singleton_state(np.array([10.0, 3.0]), 5.0, StepAdoption())
+        np.testing.assert_allclose(state.score, [5.0, 0.0])
+        np.testing.assert_allclose(state.pay, [5.0, 0.0])
+
+    def test_state_addition(self):
+        a = SubtreeState(np.array([1.0]), np.array([2.0]))
+        b = SubtreeState(np.array([3.0]), np.array([4.0]))
+        combined = a + b
+        assert combined.score[0] == 4.0 and combined.pay[0] == 6.0
+
+    def test_merged_state_upgrade(self):
+        base = SubtreeState(np.array([1.0]), np.array([5.0]))
+        state = merged_state(base, np.array([2.0]), 9.0, StepAdoption())
+        assert state.score[0] == 2.0
+        assert state.pay[0] == 9.0  # upgraded to the bundle
+
+    def test_merged_state_keeps_base_when_worse(self):
+        base = SubtreeState(np.array([3.0]), np.array([5.0]))
+        state = merged_state(base, np.array([1.0]), 9.0, StepAdoption())
+        assert state.score[0] == 3.0
+        assert state.pay[0] == 5.0
+
+    def test_merged_state_tie_goes_to_bundle(self):
+        base = SubtreeState(np.array([2.0]), np.array([5.0]))
+        state = merged_state(base, np.array([2.0]), 9.0, StepAdoption())
+        assert state.pay[0] == 9.0
+
+    def test_negative_bundle_never_taken(self):
+        base = SubtreeState(np.array([0.0]), np.array([0.0]))
+        state = merged_state(base, np.array([-1.0]), 9.0, StepAdoption())
+        assert state.pay[0] == 0.0 and state.score[0] == 0.0
+
+
+class TestUpgradeProbability:
+    def test_deterministic_indicator(self):
+        probs = upgrade_probability(np.array([1.0, 2.0, 3.0]), np.array([2.0, 2.0, 2.0]),
+                                    StepAdoption())
+        np.testing.assert_array_equal(probs, [0.0, 1.0, 1.0])
+
+    def test_stochastic_sigmoid(self):
+        model = SigmoidAdoption(gamma=1.0)
+        prob = upgrade_probability(np.array([2.0]), np.array([2.0]), model)[0]
+        assert prob == pytest.approx(0.5)
+
+
+class TestEvaluateForestDeterministic:
+    def test_pure_offers_independent(self):
+        wtp = [[10.0, 2.0], [4.0, 8.0]]
+        roots = build_forest([offer([0], 5.0), offer([1], 6.0)])
+        outcome = evaluate_forest(roots, wtp_lookup(wtp), StepAdoption())
+        # u0 buys item0 (10>=5); u1 buys item1 (8>=6).
+        assert outcome.revenue == pytest.approx(11.0)
+        assert outcome.buyers_per_offer[Bundle.of(0)] == 1.0
+        assert outcome.buyers_per_offer[Bundle.of(1)] == 1.0
+
+    def test_table1_mixed_semantics(self):
+        # u1(12,4), u2(8,2), u3(5,11); prices 8, 11, bundle 15.2, theta -5%.
+        wtp = np.array([[12.0, 4.0], [8.0, 2.0], [5.0, 11.0]])
+
+        def lookup(bundle):
+            raw = wtp[:, list(bundle.items)].sum(axis=1)
+            return raw * 0.95 if bundle.size == 2 else raw
+
+        roots = build_forest([offer([0], 8.0), offer([1], 11.0), offer([0, 1], 15.2)])
+        outcome = evaluate_forest(roots, lookup, StepAdoption())
+        # u1 buys A alone (surplus 4 beats bundle's 0); u2 buys A;
+        # u3 ties between B and the bundle -> bundle.
+        assert outcome.revenue == pytest.approx(8.0 + 8.0 + 15.2)
+        assert outcome.buyers_per_offer[Bundle.of(0, 1)] == 1.0
+        assert outcome.buyers_per_offer[Bundle.of(0)] == 2.0
+        assert outcome.buyers_per_offer[Bundle.of(1)] == 0.0
+
+    def test_deep_tree_payment_consistency(self, rng):
+        wtp = rng.uniform(0, 10, size=(30, 4))
+        offers = [offer([i], 4.0 + i) for i in range(4)]
+        offers.append(offer([0, 1], 9.5))
+        offers.append(offer([0, 1, 2, 3], 20.0))
+        roots = build_forest(offers)
+        outcome = evaluate_forest(roots, wtp_lookup(wtp), StepAdoption())
+        # Buyer counts decompose: total payments == sum over offers of
+        # price * buyers.
+        total = sum(
+            node.offer.price * outcome.buyers_per_offer[node.bundle]
+            for root in roots
+            for node in root.descendants()
+        )
+        assert outcome.revenue == pytest.approx(total)
+
+
+class TestMNLAgainstEnumeration:
+    @pytest.mark.parametrize("gamma", [0.3, 1.0, 4.0])
+    def test_closed_form_equals_enumeration(self, rng, gamma):
+        model = SigmoidAdoption(gamma=gamma)
+        wtp = rng.uniform(0, 12, size=(25, 3))
+        offers = [
+            offer([0], 3.0),
+            offer([1], 4.0),
+            offer([2], 5.0),
+            offer([0, 1], 6.0),
+            offer([0, 1, 2], 9.0),
+        ]
+        roots = build_forest(offers)
+        lookup = wtp_lookup(wtp)
+        exact = evaluate_forest(roots, lookup, model)
+        reference = choose_mnl_enumerated(roots, lookup, model)
+        assert exact.revenue == pytest.approx(reference.revenue, rel=1e-9)
+        for bundle, count in reference.buyers_per_offer.items():
+            assert exact.buyers_per_offer[bundle] == pytest.approx(count, rel=1e-9, abs=1e-9)
+
+    def test_single_offer_reduces_to_equation6(self, rng):
+        model = SigmoidAdoption(gamma=2.0)
+        wtp = rng.uniform(0, 12, size=(40, 1))
+        roots = build_forest([offer([0], 5.0)])
+        outcome = evaluate_forest(roots, wtp_lookup(wtp), model)
+        expected = (model.probability(wtp[:, 0], 5.0) * 5.0).sum()
+        assert outcome.revenue == pytest.approx(expected)
+
+
+class TestSampling:
+    def test_sample_frequency_matches_probability(self, rng):
+        model = SigmoidAdoption(gamma=1.0)
+        wtp = np.full((4000, 1), 5.0)
+        roots = build_forest([offer([0], 5.0)])
+        outcome = sample_forest(roots, wtp_lookup(wtp), model, rng)
+        assert outcome.buyers_per_offer[Bundle.of(0)] == pytest.approx(2000, rel=0.05)
+
+    def test_sample_mean_converges_to_expectation(self, rng):
+        model = SigmoidAdoption(gamma=0.8)
+        wtp = rng.uniform(0, 10, size=(200, 2))
+        offers = [offer([0], 3.0), offer([1], 4.0), offer([0, 1], 5.5)]
+        roots = build_forest(offers)
+        lookup = wtp_lookup(wtp)
+        expected = evaluate_forest(roots, lookup, model).revenue
+        draws = [sample_forest(roots, lookup, model, np.random.default_rng(s)).revenue
+                 for s in range(60)]
+        assert np.mean(draws) == pytest.approx(expected, rel=0.05)
+
+    def test_deterministic_sampling_is_evaluation(self, rng):
+        wtp = rng.uniform(0, 10, size=(50, 2))
+        offers = [offer([0], 3.0), offer([1], 4.0), offer([0, 1], 5.5)]
+        roots = build_forest(offers)
+        lookup = wtp_lookup(wtp)
+        a = sample_forest(roots, lookup, StepAdoption(), rng)
+        b = evaluate_forest(roots, lookup, StepAdoption())
+        assert a.revenue == pytest.approx(b.revenue)
+
+
+class TestAntichains:
+    def test_flat_tree_antichain_count(self):
+        roots = build_forest([offer([0], 1), offer([1], 1), offer([0, 1], 2)])
+        antichains = enumerate_antichains(roots[0], 100)
+        # {root}, {0}, {1}, {0,1} -> 4 non-empty antichains.
+        assert len(antichains) == 4
+
+    def test_limit_enforced(self):
+        offers = [offer([i], 1.0) for i in range(12)]
+        offers.append(offer(list(range(12)), 5.0))
+        roots = build_forest(offers)
+        with pytest.raises(ConfigurationError, match="antichains"):
+            enumerate_antichains(roots[0], limit=16)

@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestBundleCommand:
+    def test_synthetic_run(self, capsys):
+        code = main(["bundle", "--algorithm", "pure_greedy", "--users", "80",
+                     "--items", "12", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "expected revenue" in out
+        assert "gain over components" in out
+
+    def test_k_flag(self, capsys):
+        code = main(["bundle", "--algorithm", "mixed_greedy", "--users", "80",
+                     "--items", "12", "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bundle sizes" in out
+
+    def test_csv_roundtrip(self, tmp_path, capsys):
+        ratings = tmp_path / "r.csv"
+        prices = tmp_path / "p.csv"
+        assert main(["generate", "--users", "60", "--items", "10",
+                     "--out-ratings", str(ratings), "--out-prices", str(prices)]) == 0
+        capsys.readouterr()
+        code = main(["bundle", "--ratings", str(ratings), "--prices", str(prices),
+                     "--algorithm", "components"])
+        assert code == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_mismatched_csv_flags(self, capsys):
+        assert main(["bundle", "--ratings", "only.csv"]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_unknown_algorithm_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["bundle", "--algorithm", "nope"])
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "27.00" in out
+
+    def test_table6(self, capsys):
+        assert main(["experiment", "table6"]) == 0
+        assert "Born in Fire" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["experiment", "figure1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+
+class TestGenerateCommand:
+    def test_writes_csvs(self, tmp_path, capsys):
+        ratings = tmp_path / "ratings.csv"
+        prices = tmp_path / "prices.csv"
+        code = main(["generate", "--users", "50", "--items", "8", "--seed", "2",
+                     "--out-ratings", str(ratings), "--out-prices", str(prices)])
+        assert code == 0
+        assert ratings.exists() and prices.exists()
+        assert ratings.read_text().startswith("user,item,rating")

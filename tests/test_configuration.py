@@ -1,0 +1,100 @@
+"""Unit tests for configurations (Problems 1 and 2)."""
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.core.configuration import (
+    MixedConfiguration,
+    PureConfiguration,
+    components_configuration,
+)
+from repro.core.pricing import PricedBundle
+from repro.errors import ConfigurationError, ValidationError
+
+
+def offer(items, price=1.0, revenue=2.0, buyers=2.0):
+    return PricedBundle(Bundle(items), price, revenue, buyers)
+
+
+class TestPureConfiguration:
+    def test_valid_partition(self):
+        config = PureConfiguration([offer([0, 1]), offer([2])], 3)
+        assert len(config) == 2
+        assert config.max_bundle_size == 2
+
+    def test_expected_revenue_sums_offers(self):
+        config = PureConfiguration([offer([0], revenue=3.0), offer([1], revenue=4.5)], 2)
+        assert config.expected_revenue == pytest.approx(7.5)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValidationError):
+            PureConfiguration([offer([0, 1]), offer([1, 2])], 3)
+
+    def test_uncovered_rejected(self):
+        with pytest.raises(ValidationError):
+            PureConfiguration([offer([0])], 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PureConfiguration([], 1)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PureConfiguration([Bundle.of(0)], 1)
+
+    def test_size_histogram(self):
+        config = PureConfiguration([offer([0, 1]), offer([2]), offer([3])], 4)
+        assert config.size_histogram() == {1: 2, 2: 1}
+
+    def test_non_trivial_offers(self):
+        config = PureConfiguration([offer([0, 1]), offer([2])], 3)
+        assert [o.bundle for o in config.non_trivial_offers()] == [Bundle.of(0, 1)]
+
+    def test_bundles_property(self):
+        config = PureConfiguration([offer([0]), offer([1])], 2)
+        assert config.bundles == (Bundle.of(0), Bundle.of(1))
+
+
+class TestMixedConfiguration:
+    def test_laminar_family(self):
+        config = MixedConfiguration(
+            [offer([0]), offer([1]), offer([0, 1]), offer([2])], 3
+        )
+        assert config.top_level_bundles == (Bundle.of(0, 1), Bundle.of(2))
+
+    def test_forest_structure(self):
+        config = MixedConfiguration(
+            [offer([0]), offer([1]), offer([0, 1]), offer([2])], 3
+        )
+        roots = config.forest()
+        assert len(roots) == 2
+        top = next(r for r in roots if r.bundle == Bundle.of(0, 1))
+        assert len(top.children) == 2
+
+    def test_crossing_rejected(self):
+        with pytest.raises(ValidationError):
+            MixedConfiguration(
+                [offer([0, 1]), offer([1, 2]), offer([0]), offer([2])], 3
+            )
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValidationError):
+            MixedConfiguration([offer([0]), offer([0]), offer([1])], 2)
+
+    def test_partition_is_valid_mixed(self):
+        config = MixedConfiguration([offer([0, 1]), offer([2])], 3)
+        assert config.top_level_bundles == (Bundle.of(0, 1), Bundle.of(2))
+
+    def test_size_histogram(self):
+        config = MixedConfiguration([offer([0]), offer([1]), offer([0, 1])], 2)
+        assert config.size_histogram() == {1: 2, 2: 1}
+
+
+class TestComponentsConfiguration:
+    def test_builds_from_singletons(self):
+        config = components_configuration([offer([0]), offer([1])], 2)
+        assert isinstance(config, PureConfiguration)
+
+    def test_rejects_bundles(self):
+        with pytest.raises(ConfigurationError):
+            components_configuration([offer([0, 1])], 2)

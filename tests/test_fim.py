@@ -1,0 +1,166 @@
+"""Tests for the frequent-itemset mining substrate (Apriori/Eclat/MAFIA)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.wtp import WTPMatrix
+from repro.errors import DataError
+from repro.fim.apriori import apriori
+from repro.fim.bitset import intersection_count, pack_bool, popcount, unpack_bool
+from repro.fim.eclat import eclat
+from repro.fim.mafia import filter_maximal, maximal_frequent_itemsets
+from repro.fim.transactions import TransactionDatabase
+
+
+def brute_force_frequent(transactions, n_items, threshold, max_len=None):
+    result = {}
+    top = n_items if max_len is None else min(n_items, max_len)
+    for size in range(1, top + 1):
+        for combo in combinations(range(n_items), size):
+            support = sum(1 for t in transactions if set(combo) <= t)
+            if support >= threshold:
+                result[frozenset(combo)] = support
+    return result
+
+
+@pytest.fixture()
+def market_baskets():
+    return [
+        {0, 1, 2},
+        {0, 1},
+        {0, 2},
+        {1, 2},
+        {0, 1, 2, 3},
+        {3},
+        {0, 3},
+    ]
+
+
+class TestBitset:
+    def test_pack_unpack_roundtrip(self, rng):
+        mask = rng.random(37) < 0.5
+        packed = pack_bool(mask)
+        assert (unpack_bool(packed, 37) == mask).all()
+
+    def test_popcount(self, rng):
+        mask = rng.random(100) < 0.3
+        assert popcount(pack_bool(mask)) == int(mask.sum())
+
+    def test_intersection_count(self, rng):
+        a = rng.random(64) < 0.5
+        b = rng.random(64) < 0.5
+        assert intersection_count(pack_bool(a), pack_bool(b)) == int((a & b).sum())
+
+
+class TestTransactionDatabase:
+    def test_supports(self, market_baskets):
+        db = TransactionDatabase(market_baskets, 4)
+        assert db.item_support(0) == 5
+        assert db.support({0, 1}) == 3
+        assert db.support({0, 1, 2}) == 2
+        assert db.support([]) == 7
+
+    def test_from_wtp(self):
+        wtp = WTPMatrix([[1.0, 0.0], [2.0, 3.0]])
+        db = TransactionDatabase.from_wtp(wtp)
+        assert db.n_transactions == 2
+        assert db.item_support(0) == 2
+        assert db.item_support(1) == 1
+
+    def test_absolute_minsup(self, market_baskets):
+        db = TransactionDatabase(market_baskets, 4)
+        assert db.absolute_minsup(0.5) == 4
+        assert db.absolute_minsup(0.0001) == 1
+        with pytest.raises(DataError):
+            db.absolute_minsup(0.0)
+
+    def test_item_out_of_range(self):
+        with pytest.raises(DataError):
+            TransactionDatabase([{5}], 3)
+
+    def test_empty_database(self):
+        with pytest.raises(DataError):
+            TransactionDatabase([], 3)
+
+
+class TestMiners:
+    def test_apriori_known(self, market_baskets):
+        db = TransactionDatabase(market_baskets, 4)
+        frequent = apriori(db, 3 / 7)
+        assert frequent[frozenset({0})] == 5
+        assert frequent[frozenset({0, 1})] == 3
+        assert frozenset({0, 1, 2}) not in frequent  # support 2 < 3
+
+    def test_apriori_equals_brute_force(self, rng):
+        for _trial in range(15):
+            n_items = int(rng.integers(2, 7))
+            transactions = [
+                {i for i in range(n_items) if rng.random() < 0.45}
+                for _ in range(int(rng.integers(2, 25)))
+            ]
+            db = TransactionDatabase(transactions, n_items)
+            minsup = float(rng.choice([0.1, 0.25, 0.5]))
+            expected = brute_force_frequent(transactions, n_items, db.absolute_minsup(minsup))
+            assert apriori(db, minsup) == expected
+
+    def test_eclat_equals_apriori(self, rng):
+        for _trial in range(15):
+            n_items = int(rng.integers(2, 8))
+            transactions = [
+                {i for i in range(n_items) if rng.random() < 0.4}
+                for _ in range(int(rng.integers(2, 30)))
+            ]
+            db = TransactionDatabase(transactions, n_items)
+            for minsup in (0.1, 0.3):
+                assert eclat(db, minsup) == apriori(db, minsup)
+
+    def test_max_len_cap(self, market_baskets):
+        db = TransactionDatabase(market_baskets, 4)
+        capped = apriori(db, 1 / 7, max_len=2)
+        assert all(len(s) <= 2 for s in capped)
+        assert eclat(db, 1 / 7, max_len=2) == capped
+
+
+class TestMafia:
+    def test_known_maximal(self, market_baskets):
+        db = TransactionDatabase(market_baskets, 4)
+        maximal = maximal_frequent_itemsets(db, 2 / 7)
+        # {0,1,2} has support 2 (frequent) and no frequent superset.
+        assert frozenset({0, 1, 2}) in maximal
+        # {0,1} is subsumed.
+        assert frozenset({0, 1}) not in maximal
+
+    def test_equals_filtered_apriori(self, rng):
+        for _trial in range(20):
+            n_items = int(rng.integers(2, 8))
+            transactions = [
+                {i for i in range(n_items) if rng.random() < 0.4}
+                for _ in range(int(rng.integers(2, 30)))
+            ]
+            db = TransactionDatabase(transactions, n_items)
+            for minsup in (0.15, 0.4):
+                expected = filter_maximal(apriori(db, minsup).keys())
+                assert maximal_frequent_itemsets(db, minsup) == expected
+
+    def test_max_len_relative_maximality(self, rng):
+        for _trial in range(10):
+            n_items = int(rng.integers(3, 8))
+            transactions = [
+                {i for i in range(n_items) if rng.random() < 0.5}
+                for _ in range(int(rng.integers(3, 20)))
+            ]
+            db = TransactionDatabase(transactions, n_items)
+            cap = int(rng.integers(1, n_items))
+            expected = filter_maximal(
+                s for s in apriori(db, 0.2, max_len=cap)
+            )
+            assert maximal_frequent_itemsets(db, 0.2, max_len=cap) == expected
+
+    def test_filter_maximal_dedupes(self):
+        result = filter_maximal([{0}, {0}, {0, 1}])
+        assert result == [frozenset({0, 1})]
+
+    def test_no_frequent_itemsets(self):
+        db = TransactionDatabase([{0}, {1}], 2)
+        assert maximal_frequent_itemsets(db, 1.0) == []

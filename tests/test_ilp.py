@@ -1,0 +1,183 @@
+"""Tests for the exact set-packing solvers (ILP stand-in + subset DP)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError, ValidationError
+from repro.ilp.branch_and_bound import solve_branch_and_bound, solve_greedy
+from repro.ilp.dp import optimal_partition, partition_items
+from repro.ilp.model import (
+    SetPackingProblem,
+    itemset_to_mask,
+    mask_to_items,
+)
+
+
+def brute_force_packing(problem):
+    best = 0.0
+    for r in range(problem.n_sets + 1):
+        for combo in itertools.combinations(range(problem.n_sets), r):
+            used, value, ok = 0, 0.0, True
+            for j in combo:
+                if used & problem.masks[j]:
+                    ok = False
+                    break
+                used |= problem.masks[j]
+                value += problem.weights[j]
+            if ok and value > best:
+                best = value
+    return best
+
+
+class TestModel:
+    def test_mask_roundtrip(self):
+        assert mask_to_items(itemset_to_mask([0, 3, 5])) == (0, 3, 5)
+
+    def test_from_itemsets_validation(self):
+        with pytest.raises(ValidationError):
+            SetPackingProblem.from_itemsets(2, [[0, 5]], [1.0])
+        with pytest.raises(ValidationError):
+            SetPackingProblem.from_itemsets(2, [[]], [1.0])
+        with pytest.raises(ValidationError):
+            SetPackingProblem.from_itemsets(2, [[0]], [1.0, 2.0])
+
+    def test_value_of_checks_disjointness(self):
+        problem = SetPackingProblem.from_itemsets(3, [[0, 1], [1, 2]], [1.0, 2.0])
+        assert problem.value_of([0]) == 1.0
+        with pytest.raises(ValidationError):
+            problem.value_of([0, 1])
+
+
+class TestBranchAndBound:
+    def test_known_instance(self):
+        problem = SetPackingProblem.from_itemsets(
+            4, [[0, 1], [2, 3], [0, 2], [1], [3]], [5.0, 5.0, 7.0, 2.0, 2.0]
+        )
+        solution = solve_branch_and_bound(problem)
+        # best: {0,2}(7) + {1}(2) + {3}(2) = 11.
+        assert solution.weight == pytest.approx(11.0)
+        assert solution.optimal
+
+    def test_matches_brute_force(self, rng):
+        for _trial in range(40):
+            n_items = int(rng.integers(2, 8))
+            n_sets = int(rng.integers(1, 12))
+            itemsets = [
+                list(rng.choice(n_items, size=int(rng.integers(1, n_items + 1)),
+                                replace=False))
+                for _ in range(n_sets)
+            ]
+            weights = [float(rng.uniform(-2, 9)) for _ in range(n_sets)]
+            problem = SetPackingProblem.from_itemsets(n_items, itemsets, weights)
+            solution = solve_branch_and_bound(problem)
+            assert solution.weight == pytest.approx(brute_force_packing(problem))
+            problem.value_of(solution.chosen)  # validates disjointness
+
+    def test_node_limit(self):
+        itemsets = [[i, j] for i in range(10) for j in range(i + 1, 10)]
+        weights = [1.0 + 0.001 * k for k in range(len(itemsets))]
+        problem = SetPackingProblem.from_itemsets(10, itemsets, weights)
+        with pytest.raises(SolverError, match="exceeded"):
+            solve_branch_and_bound(problem, node_limit=5)
+
+    def test_deep_instance_no_recursion_error(self):
+        # Thousands of sets: the exclude chain used to blow the recursion
+        # limit before the solver went iterative.
+        itemsets = [[i % 12] for i in range(3000)]
+        weights = [1.0] * 3000
+        problem = SetPackingProblem.from_itemsets(12, itemsets, weights)
+        solution = solve_branch_and_bound(problem)
+        assert solution.weight == pytest.approx(12.0)
+
+
+class TestGreedyWSP:
+    def test_sqrt_rule_prefers_large_sets(self):
+        # weight 10 split over 4 items: sqrt rule scores 5.0, beating the
+        # best singleton at 4.0 — the linear rule would score it 2.5.
+        problem = SetPackingProblem.from_itemsets(
+            4, [[0, 1, 2, 3], [0], [1], [2], [3]], [10.0, 4.0, 4.0, 4.0, 4.0]
+        )
+        sqrt_solution = solve_greedy(problem, ratio="sqrt")
+        linear_solution = solve_greedy(problem, ratio="linear")
+        assert sqrt_solution.weight == pytest.approx(10.0)
+        assert linear_solution.weight == pytest.approx(16.0)
+
+    def test_never_beats_optimal(self, rng):
+        for _trial in range(25):
+            n_items = int(rng.integers(2, 8))
+            n_sets = int(rng.integers(1, 10))
+            itemsets = [
+                list(rng.choice(n_items, size=int(rng.integers(1, n_items + 1)),
+                                replace=False))
+                for _ in range(n_sets)
+            ]
+            weights = [float(rng.uniform(0, 9)) for _ in range(n_sets)]
+            problem = SetPackingProblem.from_itemsets(n_items, itemsets, weights)
+            greedy = solve_greedy(problem)
+            exact = solve_branch_and_bound(problem)
+            assert greedy.weight <= exact.weight + 1e-9
+            # sqrt-N approximation bound.
+            assert greedy.weight >= exact.weight / np.sqrt(n_items) - 1e-9
+
+    def test_invalid_ratio(self):
+        problem = SetPackingProblem.from_itemsets(1, [[0]], [1.0])
+        with pytest.raises(ValueError):
+            solve_greedy(problem, ratio="cubic")
+
+
+class TestSubsetDP:
+    def test_known_partition(self):
+        # items {0,1}: bundle {0,1} worth 10 beats singletons 4+4.
+        revenues = np.zeros(4)
+        revenues[0b01] = 4.0
+        revenues[0b10] = 4.0
+        revenues[0b11] = 10.0
+        masks, value = optimal_partition(revenues, 2)
+        assert value == pytest.approx(10.0)
+        assert masks == [0b11]
+
+    def test_k_constraint(self):
+        revenues = np.zeros(8)
+        revenues[0b001] = 1.0
+        revenues[0b010] = 1.0
+        revenues[0b100] = 1.0
+        revenues[0b111] = 10.0
+        masks, value = optimal_partition(revenues, 3, max_size=2)
+        assert value == pytest.approx(3.0)
+        assert all(bin(m).count("1") <= 2 for m in masks)
+
+    def test_masks_form_partition(self, rng):
+        n = 6
+        revenues = np.concatenate([[0.0], rng.uniform(0, 10, size=(1 << n) - 1)])
+        masks, _ = optimal_partition(revenues, n)
+        assert sum(masks) == (1 << n) - 1
+        for i, a in enumerate(masks):
+            for b in masks[i + 1:]:
+                assert not (a & b)
+
+    def test_value_is_max_over_random_partitions(self, rng):
+        n = 5
+        revenues = np.concatenate([[0.0], rng.uniform(0, 10, size=(1 << n) - 1)])
+        _, value = optimal_partition(revenues, n)
+        for _ in range(200):
+            remaining = list(range(n))
+            total = 0.0
+            rng.shuffle(remaining)
+            while remaining:
+                size = int(rng.integers(1, len(remaining) + 1))
+                chunk, remaining = remaining[:size], remaining[size:]
+                total += revenues[sum(1 << i for i in chunk)]
+            assert total <= value + 1e-9
+
+    def test_size_guard(self):
+        with pytest.raises(SolverError):
+            optimal_partition(np.zeros(2 ** 19), 19)
+
+    def test_shape_guard(self):
+        with pytest.raises(ValidationError):
+            optimal_partition(np.zeros(5), 2)
+
+    def test_partition_items_helper(self):
+        assert partition_items([0b101, 0b010]) == [(0, 2), (1,)]

@@ -1,0 +1,130 @@
+"""Cross-module integration tests: the full paper pipeline at small scale."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Components,
+    GreedyMerge,
+    IterativeMatching,
+    Optimal2Bundling,
+    OptimalWSP,
+    PriceGrid,
+    RevenueEngine,
+    SigmoidAdoption,
+    StepAdoption,
+    amazon_books_like,
+    evaluate,
+    wtp_from_ratings,
+)
+from repro.algorithms.setpacking import GreedyWSP, enumerate_bundle_revenues
+from repro.core.bundle import Bundle
+from repro.errors import ValidationError
+
+
+class TestPipeline:
+    def test_ratings_to_configuration(self):
+        dataset = amazon_books_like(n_users=150, n_items=20, seed=4,
+                                    avg_ratings_per_user=8, min_ratings_per_user=4,
+                                    kcore=3)
+        wtp = wtp_from_ratings(dataset, conversion=1.25)
+        engine = RevenueEngine(wtp)
+        result = IterativeMatching(strategy="mixed").fit(engine)
+        report = evaluate(result.configuration, engine)
+        assert report.expected_revenue == pytest.approx(result.expected_revenue)
+        assert 0 < report.coverage <= 1.0
+
+    def test_all_methods_ordering_at_theta_zero(self, medium_engine):
+        """The paper's Figure 2 ordering at theta=0."""
+        components = Components().fit(medium_engine).expected_revenue
+        pure = IterativeMatching(strategy="pure").fit(medium_engine).expected_revenue
+        mixed = IterativeMatching(strategy="mixed").fit(medium_engine).expected_revenue
+        assert components <= pure + 1e-9
+        assert pure <= mixed + 1e-9
+
+    def test_heuristics_match_exact_optimal_on_small_instances(self, medium_wtp):
+        """Table 4's key finding at test scale."""
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            items = sorted(rng.choice(medium_wtp.n_items, size=9, replace=False).tolist())
+            engine = RevenueEngine(medium_wtp.subset_items(items))
+            optimal = OptimalWSP(method="dp").fit(engine)
+            matching = IterativeMatching(strategy="pure").fit(engine)
+            greedy = GreedyMerge(strategy="pure").fit(engine)
+            assert matching.expected_revenue == pytest.approx(
+                optimal.expected_revenue, rel=0.005
+            )
+            assert greedy.expected_revenue == pytest.approx(
+                optimal.expected_revenue, rel=0.005
+            )
+            assert optimal.expected_revenue >= matching.expected_revenue - 1e-9
+
+    def test_greedy_wsp_below_optimal(self, medium_wtp):
+        rng = np.random.default_rng(6)
+        items = sorted(rng.choice(medium_wtp.n_items, size=10, replace=False).tolist())
+        engine = RevenueEngine(medium_wtp.subset_items(items))
+        optimal = OptimalWSP(method="dp").fit(engine)
+        wsp = GreedyWSP().fit(engine)
+        assert wsp.expected_revenue <= optimal.expected_revenue + 1e-9
+
+    def test_enumeration_guard(self, medium_wtp):
+        engine = RevenueEngine(medium_wtp)  # 40 items >> the 22-item cap
+        with pytest.raises(ValidationError):
+            enumerate_bundle_revenues(engine)
+
+    def test_enumeration_matches_engine_pricing(self, small_wtp):
+        engine = RevenueEngine(small_wtp.subset_items(range(8)))
+        revenues, prices, buyers = enumerate_bundle_revenues(engine)
+        for mask in (0b1, 0b11, 0b10110, 0b11111111):
+            bundle = Bundle([i for i in range(8) if mask & (1 << i)])
+            direct = engine.price_bundle(bundle)
+            assert revenues[mask] == pytest.approx(direct.revenue)
+            assert prices[mask] == pytest.approx(direct.price)
+
+    def test_matching2_equals_iterative_with_k2_pure(self, medium_engine):
+        exact2 = Optimal2Bundling(strategy="pure").fit(medium_engine)
+        heuristic2 = IterativeMatching(strategy="pure", k=2).fit(medium_engine)
+        # Iteration 1 of Algorithm 1 with k=2 IS the optimal matching, modulo
+        # co-support pruning (safe at theta=0 in one direction).
+        assert heuristic2.expected_revenue <= exact2.expected_revenue + 1e-9
+
+    def test_stochastic_pipeline(self, small_wtp):
+        engine = RevenueEngine(small_wtp, adoption=SigmoidAdoption(gamma=0.5))
+        result = IterativeMatching(strategy="mixed").fit(engine)
+        report = evaluate(result.configuration, engine, n_runs=5, seed=1)
+        assert len(report.realized_revenues) == 5
+        assert report.realized_mean == pytest.approx(report.expected_revenue, rel=0.2)
+
+    def test_exact_grid_pipeline(self, small_wtp):
+        engine = RevenueEngine(small_wtp, grid=PriceGrid(mode="exact"))
+        mixed = GreedyMerge(strategy="mixed").fit(engine)
+        coarse_engine = RevenueEngine(small_wtp)
+        coarse = GreedyMerge(strategy="mixed").fit(coarse_engine)
+        # exact pricing should do at least roughly as well as the 100-grid.
+        assert mixed.expected_revenue >= coarse.expected_revenue * 0.98
+
+    def test_user_cloning_scales_revenue_linearly(self, small_wtp):
+        base = Components().fit(RevenueEngine(small_wtp)).expected_revenue
+        tripled = Components().fit(RevenueEngine(small_wtp.clone_users(3))).expected_revenue
+        assert tripled == pytest.approx(3 * base, rel=1e-9)
+
+    def test_alpha_scales_components_coverage_linearly(self, small_wtp):
+        cov1 = Components().fit(
+            RevenueEngine(small_wtp, adoption=StepAdoption(alpha=1.0))
+        ).coverage
+        cov125 = Components().fit(
+            RevenueEngine(small_wtp, adoption=StepAdoption(alpha=1.25))
+        ).coverage
+        assert cov125 == pytest.approx(1.25 * cov1, rel=1e-6)
+
+    def test_configurations_are_structurally_valid(self, medium_engine):
+        """Every algorithm's output passes the Problem 1/2 validators."""
+        from repro.algorithms.registry import algorithm_names, make_algorithm
+
+        for name in algorithm_names():
+            if name.startswith("optimal") or name == "greedy_wsp":
+                continue
+            result = make_algorithm(name).fit(medium_engine)
+            # Constructors validate internally; touching properties re-checks.
+            assert result.configuration.max_bundle_size >= 1
+            assert len(result.configuration.bundles) >= 1

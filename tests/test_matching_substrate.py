@@ -1,0 +1,186 @@
+"""Tests for the graph-matching substrate (blossom + backends)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.matching.backends import BACKENDS, _brute_force, solve_matching
+from repro.matching.blossom import matching_pairs, matching_weight, max_weight_matching
+from repro.matching.graph import WeightedGraph
+
+
+class TestWeightedGraph:
+    def test_add_and_list_edges(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 2.5)
+        graph.add_edge(1, 2, 1.0)
+        assert graph.n_edges == 2
+        assert graph.edges[0] == (0, 1, 2.5)
+
+    def test_rejects_self_loop(self):
+        graph = WeightedGraph(2)
+        with pytest.raises(ValidationError):
+            graph.add_edge(1, 1, 1.0)
+
+    def test_rejects_duplicate(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1.0)
+        with pytest.raises(ValidationError):
+            graph.add_edge(1, 0, 2.0)
+
+    def test_rejects_out_of_range(self):
+        graph = WeightedGraph(2)
+        with pytest.raises(ValidationError):
+            graph.add_edge(0, 5, 1.0)
+
+
+class TestBlossomKnownCases:
+    def test_single_edge(self):
+        mate = max_weight_matching([(0, 1, 5.0)])
+        assert mate == [1, 0]
+
+    def test_negative_edge_left_unmatched(self):
+        mate = max_weight_matching([(0, 1, -2.0)])
+        assert mate == [-1, -1]
+
+    def test_path_picks_heavier_edge(self):
+        # Path 0-1-2: only one of the two edges can be matched.
+        mate = max_weight_matching([(0, 1, 3.0), (1, 2, 5.0)])
+        assert mate[1] == 2 and mate[0] == -1
+
+    def test_path_picks_two_disjoint(self):
+        mate = max_weight_matching([(0, 1, 3.0), (1, 2, 5.0), (2, 3, 3.0)])
+        # total 6 from the two outer edges beats 5 from the middle.
+        assert mate[0] == 1 and mate[2] == 3
+
+    def test_triangle(self):
+        mate = max_weight_matching([(0, 1, 2.0), (1, 2, 3.0), (0, 2, 4.0)])
+        assert matching_weight([(0, 1, 2.0), (1, 2, 3.0), (0, 2, 4.0)], mate) == 4.0
+
+    def test_blossom_structure_is_handled(self):
+        # Classic 5-cycle forcing a blossom, plus pendant edges.
+        edges = [
+            (0, 1, 8.0), (1, 2, 9.0), (2, 3, 10.0), (3, 4, 7.0), (4, 0, 8.0),
+            (1, 5, 5.0), (3, 6, 4.0),
+        ]
+        mate = max_weight_matching(edges)
+        weight = matching_weight(edges, mate)
+        brute = _brute_force(edges)
+        lookup = {(min(u, v), max(u, v)): w for u, v, w in edges}
+        assert weight == pytest.approx(sum(lookup[p] for p in brute))
+
+    def test_maxcardinality_variant(self):
+        # With maxcardinality, vertex 2 must be matched even at a loss.
+        edges = [(0, 1, 10.0), (1, 2, 1.0)]
+        plain = max_weight_matching(edges)
+        full = max_weight_matching(edges, maxcardinality=True)
+        assert plain[0] == 1
+        assert full.count(-1) <= plain.count(-1)
+
+    def test_fractional_weights(self):
+        edges = [(0, 1, 2.5), (1, 2, 2.6), (0, 2, 0.1)]
+        mate = max_weight_matching(edges)
+        assert matching_weight(edges, mate) == pytest.approx(2.6)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            max_weight_matching([(1, 1, 3.0)])
+
+    def test_empty_edges(self):
+        assert max_weight_matching([]) == []
+
+    def test_matching_pairs_helper(self):
+        mate = max_weight_matching([(0, 1, 5.0), (2, 3, 4.0)])
+        assert matching_pairs(mate) == {(0, 1), (2, 3)}
+
+
+class TestBlossomRandomized:
+    def test_agrees_with_brute_force(self, rng):
+        for _trial in range(60):
+            n = int(rng.integers(2, 8))
+            edges = []
+            seen = set()
+            for _ in range(int(rng.integers(1, 15))):
+                u, v = rng.choice(n, size=2, replace=False)
+                key = (min(u, v), max(u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                edges.append((int(key[0]), int(key[1]), float(rng.uniform(-3, 12))))
+            if not edges or len(edges) > 20:
+                continue
+            mate = max_weight_matching(edges)
+            ours = matching_weight(edges, mate)
+            lookup = {(min(u, v), max(u, v)): w for u, v, w in edges}
+            brute = sum(lookup[p] for p in _brute_force(edges))
+            assert ours == pytest.approx(brute), edges
+
+    def test_agrees_with_networkx_on_larger_graphs(self, rng):
+        import networkx as nx
+
+        for _trial in range(10):
+            n = int(rng.integers(12, 40))
+            edges = []
+            seen = set()
+            for _ in range(n * 2):
+                u, v = rng.choice(n, size=2, replace=False)
+                key = (min(u, v), max(u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                edges.append((int(key[0]), int(key[1]), float(rng.integers(1, 100))))
+            mate = max_weight_matching(edges)
+            ours = matching_weight(edges, mate)
+            graph = nx.Graph()
+            for u, v, w in edges:
+                graph.add_edge(u, v, weight=w)
+            reference = nx.algorithms.matching.max_weight_matching(graph)
+            lookup = {(min(u, v), max(u, v)): w for u, v, w in edges}
+            theirs = sum(lookup[(min(u, v), max(u, v))] for u, v in reference)
+            assert ours == pytest.approx(theirs)
+
+    def test_matching_is_valid(self, rng):
+        for _trial in range(20):
+            n = int(rng.integers(4, 20))
+            edges = [
+                (i, j, float(rng.uniform(0, 10)))
+                for i in range(n)
+                for j in range(i + 1, n)
+                if rng.random() < 0.4
+            ]
+            if not edges:
+                continue
+            mate = max_weight_matching(edges)
+            edge_set = {(min(u, v), max(u, v)) for u, v, _ in edges}
+            for u in range(len(mate)):
+                if mate[u] >= 0:
+                    assert mate[mate[u]] == u  # symmetric
+                    assert (min(u, mate[u]), max(u, mate[u])) in edge_set
+
+
+class TestBackends:
+    def test_all_backends_same_weight(self, rng):
+        edges = [
+            (i, j, float(rng.integers(1, 30)))
+            for i in range(8)
+            for j in range(i + 1, 8)
+            if rng.random() < 0.6
+        ]
+        lookup = {(min(u, v), max(u, v)): w for u, v, w in edges}
+        weights = {
+            backend: sum(lookup[p] for p in solve_matching(edges, backend))
+            for backend in BACKENDS
+        }
+        assert len({round(w, 9) for w in weights.values()}) == 1, weights
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            solve_matching([(0, 1, 1.0)], backend="quantum")
+
+    def test_empty_edges(self):
+        assert solve_matching([], "blossom") == set()
+
+    def test_brute_force_edge_limit(self):
+        edges = [(i, i + 1, 1.0) for i in range(30)]
+        with pytest.raises(ValidationError):
+            _brute_force(edges)

@@ -1,0 +1,96 @@
+"""End-to-end reproduction of the paper's worked examples (Tables 1, 2, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.components import Components
+from repro.algorithms.greedy import GreedyMerge
+from repro.algorithms.matching_iterative import IterativeMatching
+from repro.core.pricing import PriceGrid
+from repro.core.revenue import RevenueEngine
+from repro.data.toy import TABLE1_THETA, table1_wtp, table6_wtp
+from repro.experiments.tables import table1, table2, table6
+
+
+@pytest.fixture()
+def table1_engine():
+    return RevenueEngine(table1_wtp(), theta=TABLE1_THETA, grid=PriceGrid(mode="exact"))
+
+
+@pytest.fixture()
+def table6_engine():
+    return RevenueEngine(table6_wtp(), theta=0.0, grid=PriceGrid(mode="exact"))
+
+
+class TestTable1:
+    def test_components_revenue_27(self, table1_engine):
+        result = Components().fit(table1_engine)
+        assert result.expected_revenue == pytest.approx(27.0)
+        prices = {o.bundle.items[0]: o.price for o in result.configuration.offers}
+        assert prices[0] == pytest.approx(8.0)  # p_A
+        assert prices[1] == pytest.approx(11.0)  # p_B
+
+    def test_pure_revenue_30_40(self, table1_engine):
+        result = IterativeMatching(strategy="pure").fit(table1_engine)
+        assert result.expected_revenue == pytest.approx(30.4)
+        offer = result.configuration.offers[0]
+        assert offer.bundle.items == (0, 1)
+        assert offer.price == pytest.approx(15.2)
+
+    def test_greedy_agrees_on_pure(self, table1_engine):
+        assert GreedyMerge(strategy="pure").fit(table1_engine).expected_revenue == pytest.approx(30.4)
+
+    def test_mixed_upgrade_rule_31_20(self, table1_engine):
+        result = IterativeMatching(strategy="mixed").fit(table1_engine)
+        assert result.expected_revenue == pytest.approx(31.2)
+
+    def test_table1_harness(self):
+        rows = {row[0]: row for row in table1().rows}
+        assert rows["Components"][2] == 27.0
+        assert rows["Pure bundling"][2] == 30.4
+        assert rows["Mixed bundling"][2] == 31.2
+        assert rows["Mixed bundling"][3] == 38.4  # naive affordability rule
+
+
+class TestTable2:
+    def test_optimal_invariant_and_amazon_peak(self, small_dataset):
+        result = table2(dataset=small_dataset)
+        optimal = np.array(result.extra["optimal"])
+        amazon = np.array(result.extra["amazon"])
+        assert np.allclose(optimal, optimal[0], atol=1e-6)
+        assert np.all(optimal >= amazon - 1e-9)
+        assert int(np.argmax(amazon)) == 1  # lambda = 1.25
+
+
+class TestTable6:
+    def test_individual_prices(self, table6_engine):
+        singles = table6_engine.price_components()
+        assert [round(s.price, 2) for s in singles] == [7.99, 6.99, 7.99]
+        assert [int(s.buyers) for s in singles] == [10, 9, 9]
+        assert [round(s.revenue, 2) for s in singles] == [79.90, 62.91, 71.91]
+
+    def test_pair_merges(self, table6_engine):
+        singles = table6_engine.price_components()
+        best_pair = table6_engine.mixed_merge(singles[1], singles[2])
+        assert best_pair.price == pytest.approx(11.20)
+        assert best_pair.gain == pytest.approx(11.20)
+        other = table6_engine.mixed_merge(singles[0], singles[2])
+        assert other.price == pytest.approx(13.91)
+        assert other.gain == pytest.approx(5.92)
+        dead = table6_engine.mixed_merge(singles[0], singles[1])
+        assert not dead.feasible
+
+    def test_full_algorithm_reaches_231_84(self, table6_engine):
+        from repro.core.bundle import Bundle
+
+        for algo in (IterativeMatching(strategy="mixed"), GreedyMerge(strategy="mixed")):
+            result = algo.fit(table6_engine)
+            assert result.expected_revenue == pytest.approx(231.84)
+            assert result.configuration.top_level_bundles == (Bundle.of(0, 1, 2),)
+
+    def test_case_study_table_rows(self):
+        result = table6()
+        selected = [row[0] for row in result.rows if row[4]]
+        assert "(Two Little Lies, Born in Fire)" in selected
+        assert "(The Sands of Time, Two Little Lies, Born in Fire)" in selected
+        assert "(The Sands of Time, Born in Fire)" not in selected

@@ -1,0 +1,89 @@
+"""Tests for shared utilities (rng, timer, validation)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int(self):
+        a = ensure_rng(42).random(3)
+        b = ensure_rng(42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        first = [r.random() for r in spawn_rngs(7, 3)]
+        second = [r.random() for r in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_count_stability(self):
+        # run i is the same regardless of how many runs are requested.
+        three = [r.random() for r in spawn_rngs(7, 3)]
+        five = [r.random() for r in spawn_rngs(7, 5)]
+        assert three == five[:3]
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(1)
+        children = spawn_rngs(rng, 2)
+        assert len(children) == 2
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert 0.005 < timer.elapsed < 1.0
+
+    def test_lap_is_monotone(self):
+        timer = Timer()
+        first = timer.lap()
+        time.sleep(0.005)
+        assert timer.lap() > first
+
+    def test_repr(self):
+        assert "Timer(elapsed=" in repr(Timer())
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValidationError, match="x"):
+                check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_fraction(self):
+        assert check_fraction(0.5, "x") == 0.5
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ValidationError):
+                check_fraction(bad, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        for bad in (0, -1, 2.0, True):
+            with pytest.raises(ValidationError):
+                check_positive_int(bad, "x")
