@@ -1,0 +1,160 @@
+"""Machine-readable scalability benchmark (Section 6.3 at streaming scale).
+
+Clones the Figure 7(a) workload up to hundreds of thousands of users and
+runs the pure matching heuristic once per (backend × clone factor) cell,
+recording wall-clock, Python-level peak memory (``tracemalloc``), and the
+process high-water RSS (``resource.getrusage``).  Results land in
+``BENCH_scalability.json`` at the repo root so future PRs can diff the
+perf trajectory instead of re-reading prose.
+
+Backends
+--------
+``unchunked-float64``
+    ``chunk_elements=None`` — the original behaviour: the whole O(M·N²/2)
+    candidate stack is materialized at once.  This is the *before* column.
+``streaming-float64``
+    The default streaming engine; bit-identical results, bounded buffers.
+``streaming-float32`` / ``streaming-sparse``
+    The reduced-precision and CSC-sparse WTP storage backends.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/scalability_json.py
+    PYTHONPATH=src python benchmarks/scalability_json.py --factors 50 125 250
+
+The pure matching heuristic is capped at two iterations: the first
+iteration's full pair scan is exactly the allocation the streaming kernels
+bound, and a fixed cap keeps cells comparable across factors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.algorithms.matching_iterative import IterativeMatching
+from repro.core.kernels import DEFAULT_CHUNK_ELEMENTS
+from repro.core.revenue import RevenueEngine
+from repro.data.synthetic import amazon_books_like
+from repro.data.wtp_mapping import wtp_from_ratings
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scalability.json"
+
+#: Engine construction kwargs per backend column.
+BACKENDS = {
+    "unchunked-float64": {"chunk_elements": None},
+    "streaming-float64": {},
+    "streaming-float32": {"precision": "float32"},
+    "streaming-sparse": {"storage": "sparse"},
+}
+
+
+def measure_cell(wtp, backend_kwargs: dict, max_iterations: int) -> dict:
+    """One (backend, factor) cell: fit pure matching under tracemalloc."""
+    rss_before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    tracemalloc.start()
+    started = time.perf_counter()
+    engine = RevenueEngine(wtp, **backend_kwargs)
+    result = IterativeMatching(strategy="pure", max_iterations=max_iterations).fit(engine)
+    wall = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    rss_after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "wall_seconds": round(wall, 4),
+        "tracemalloc_peak_mb": round(peak / 2**20, 2),
+        "ru_maxrss_mb": round(rss_after / 1024, 2),  # Linux reports KiB
+        "ru_maxrss_grew": bool(rss_after > rss_before),
+        "expected_revenue": result.expected_revenue,
+        "iterations": result.n_iterations,
+    }
+
+
+def run(factors, base_users, base_items, seed, max_iterations, backends) -> dict:
+    dataset = amazon_books_like(n_users=base_users, n_items=base_items, seed=seed)
+    base_wtp = wtp_from_ratings(dataset, conversion=1.25)
+    runs = []
+    for factor in factors:
+        wtp = base_wtp.clone_users(factor) if factor > 1 else base_wtp
+        for backend in backends:
+            cell = measure_cell(wtp, BACKENDS[backend], max_iterations)
+            cell.update(
+                backend=backend,
+                clone_factor=factor,
+                n_users=wtp.n_users,
+                n_items=wtp.n_items,
+            )
+            runs.append(cell)
+            print(
+                f"factor={factor:>4} users={wtp.n_users:>8} {backend:<20} "
+                f"wall={cell['wall_seconds']:>8.2f}s "
+                f"peak={cell['tracemalloc_peak_mb']:>9.1f}MB "
+                f"revenue={cell['expected_revenue']:.2f}"
+            )
+        del wtp
+
+    largest = max(factors)
+    at_largest = {r["backend"]: r for r in runs if r["clone_factor"] == largest}
+    summary = {}
+    if "unchunked-float64" in at_largest and "streaming-float64" in at_largest:
+        before = at_largest["unchunked-float64"]
+        after = at_largest["streaming-float64"]
+        summary = {
+            "largest_clone_factor": largest,
+            "n_users_at_largest": before["n_users"],
+            "peak_memory_reduction_x": round(
+                before["tracemalloc_peak_mb"] / max(after["tracemalloc_peak_mb"], 1e-9), 2
+            ),
+            "wall_clock_speedup_x": round(
+                before["wall_seconds"] / max(after["wall_seconds"], 1e-9), 2
+            ),
+            "revenues_identical": before["expected_revenue"] == after["expected_revenue"],
+        }
+    return {
+        "benchmark": "scalability (Figure 7a workload, pure matching, capped iterations)",
+        "base": {"n_users": base_users, "n_items": base_items, "seed": seed},
+        "max_iterations": max_iterations,
+        "chunk_elements": DEFAULT_CHUNK_ELEMENTS,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "summary": summary,
+        "runs": runs,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--factors", type=int, nargs="+", default=[50, 125, 250])
+    parser.add_argument("--base-users", type=int, default=400)
+    parser.add_argument("--base-items", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--max-iterations", type=int, default=2)
+    parser.add_argument(
+        "--backends", nargs="+", choices=sorted(BACKENDS), default=list(BACKENDS)
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    report = run(
+        args.factors,
+        args.base_users,
+        args.base_items,
+        args.seed,
+        args.max_iterations,
+        args.backends,
+    )
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"\nwrote {args.output}")
+    if report["summary"]:
+        print(json.dumps(report["summary"], indent=1))
+
+
+if __name__ == "__main__":
+    main()

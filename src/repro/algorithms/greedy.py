@@ -57,8 +57,10 @@ class GreedyMerge(BundlingAlgorithm):
                 if mixed
                 else {}
             )
+            # Bit-packed support words: merge-time co-support tests are a
+            # word-AND over M/8 bytes instead of an O(M) boolean scan.
             support = {
-                index: engine.raw_wtp(offer.bundle) > 0 for index, offer in live.items()
+                index: engine.support_bits(offer.bundle) for index, offer in live.items()
             }
             next_id = itertools.count(len(singles))
             retained: list[PricedBundle] = []

@@ -140,13 +140,17 @@ class IterativeMatching(BundlingAlgorithm):
                         retained.append(current[pair[1]])
                         base = states[pair[0]] + states[pair[1]]
                         next_states.append(engine.merged_mixed_state(merge_of[pair], base))
-                # Unselected merge candidates will not be revisited: release
-                # their cached pricing to keep memory flat across iterations.
-                engine.drop_cached(
-                    offer.bundle
-                    for pair, offer in offer_of.items()
-                    if pair not in matched
-                )
+                # With new-vertex pruning, unselected merge candidates will
+                # not be revisited: release their cached pricing to keep
+                # memory flat across iterations.  Without it (the ablation
+                # path) every surviving pair is re-proposed next iteration,
+                # so dropping here would force a full re-pricing per round.
+                if self.new_vertex_pruning:
+                    engine.drop_cached(
+                        offer.bundle
+                        for pair, offer in offer_of.items()
+                        if pair not in matched
+                    )
 
                 revenue_estimate += total_gain
                 current = next_current

@@ -1,0 +1,229 @@
+"""Streaming pair-scan kernels: memory-bounded batch pricing.
+
+The O(M·N²) pair scans at the heart of both heuristics (Section 5.3.2)
+price up to ~N²/2 candidate bundles per iteration.  Materializing all the
+candidates' per-user columns at once costs O(M·N²) memory — ~40 GB at one
+million users and a hundred items — long before a single bundle is priced.
+
+This module streams those scans instead: candidate columns are *filled* a
+chunk at a time into a reusable ``(M, width)`` buffer whose size is capped
+by a configurable ``chunk_elements`` budget, and each chunk runs through
+the vectorized pricing kernels of :mod:`repro.core.pricing`.  Because every
+pricing kernel is column-independent, chunked results are bit-identical to
+the unchunked scan.
+
+Peak working memory of a streamed scan is a small constant multiple of
+``8 · chunk_elements`` bytes (the fill buffer plus the pricing kernel's own
+per-chunk temporaries), independent of how many candidates are scanned.
+
+Also here: the LRU cache that keeps :class:`~repro.core.revenue.RevenueEngine`'s
+per-bundle raw-WTP vectors memory-flat over long greedy runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.core.adoption import AdoptionModel
+from repro.core.pricing import PriceGrid, price_mixed_bundle_batch, price_pure_batch
+from repro.errors import ValidationError
+
+#: Default per-buffer element budget (~32 MB of float64 per buffer).  The
+#: same default the mixed batch kernel has always used for its internal
+#: (levels × users × pairs) chunking.
+DEFAULT_CHUNK_ELEMENTS = 4_000_000
+
+
+def check_chunk_elements(chunk_elements: int | None) -> int | None:
+    """Validate a chunk budget; ``None`` disables chunking (unbounded)."""
+    if chunk_elements is None:
+        return None
+    if not isinstance(chunk_elements, (int, np.integer)) or isinstance(
+        chunk_elements, bool
+    ):
+        raise ValidationError(
+            f"chunk_elements must be a positive int or None, got {chunk_elements!r}"
+        )
+    if chunk_elements < 1:
+        raise ValidationError(
+            f"chunk_elements must be a positive int or None, got {chunk_elements!r}"
+        )
+    return int(chunk_elements)
+
+
+def chunk_width(n_columns: int, n_users: int, chunk_elements: int | None) -> int:
+    """Columns per chunk under the element budget (at least one)."""
+    if chunk_elements is None or n_columns == 0:
+        return max(1, n_columns)
+    return max(1, min(n_columns, chunk_elements // max(1, n_users)))
+
+
+def iter_chunks(n_columns: int, width: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` column ranges of at most *width* columns."""
+    for start in range(0, n_columns, width):
+        yield start, min(start + width, n_columns)
+
+
+# -------------------------------------------------------------- pure streaming
+def stream_pure_prices(
+    fill: Callable[[np.ndarray, int, int], None],
+    n_columns: int,
+    n_users: int,
+    adoption: AdoptionModel,
+    grid: PriceGrid,
+    chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Streamed :func:`~repro.core.pricing.price_pure_batch` over *n_columns*.
+
+    ``fill(block, start, stop)`` must write the per-user WTP columns for
+    candidates ``[start, stop)`` into ``block`` (shape ``(n_users,
+    stop-start)``, float64).  The buffer is reused across chunks, so
+    ``fill`` must overwrite every entry it is handed.
+
+    Returns ``(prices, revenues, buyers)`` of length ``n_columns`` —
+    bit-identical to pricing one giant stacked array, at bounded memory.
+    """
+    prices = np.zeros(n_columns)
+    revenues = np.zeros(n_columns)
+    buyers = np.zeros(n_columns)
+    if n_columns == 0:
+        return prices, revenues, buyers
+    width = chunk_width(n_columns, n_users, chunk_elements)
+    buffer = np.empty((n_users, width), dtype=np.float64)
+    for start, stop in iter_chunks(n_columns, width):
+        block = buffer[:, : stop - start]
+        fill(block, start, stop)
+        p, r, b = price_pure_batch(
+            block, adoption, grid, chunk_elements=chunk_elements
+        )
+        prices[start:stop] = p
+        revenues[start:stop] = r
+        buyers[start:stop] = b
+    return prices, revenues, buyers
+
+
+# ------------------------------------------------------------- mixed streaming
+def stream_mixed_merges(
+    fill_pair: Callable[[int, np.ndarray, np.ndarray, np.ndarray], tuple[float, float]],
+    n_pairs: int,
+    n_users: int,
+    adoption: AdoptionModel,
+    grid: PriceGrid,
+    chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Streamed :func:`~repro.core.pricing.price_mixed_bundle_batch`.
+
+    ``fill_pair(k, wtp_col, score_col, pay_col)`` must write candidate
+    ``k``'s bundle-WTP column and base choice-state columns (each of length
+    ``n_users``) and return its Guiltinan interval ``(floor, ceiling)``.
+    Only one chunk of pair columns is ever alive, so scanning all ~N²/2
+    candidate merges needs O(chunk) rather than O(M·N²) memory.
+
+    Returns ``(prices, gains, upgraded, feasible)`` of length ``n_pairs``.
+    """
+    prices = np.zeros(n_pairs)
+    gains = np.full(n_pairs, -np.inf)
+    upgraded = np.zeros(n_pairs)
+    feasible = np.zeros(n_pairs, dtype=bool)
+    if n_pairs == 0:
+        return prices, gains, upgraded, feasible
+    width = chunk_width(n_pairs, n_users, chunk_elements)
+    wtp_buf = np.empty((n_users, width), dtype=np.float64)
+    score_buf = np.empty((n_users, width), dtype=np.float64)
+    pay_buf = np.empty((n_users, width), dtype=np.float64)
+    floors = np.empty(width, dtype=np.float64)
+    ceilings = np.empty(width, dtype=np.float64)
+    for start, stop in iter_chunks(n_pairs, width):
+        count = stop - start
+        for offset in range(count):
+            floor, ceiling = fill_pair(
+                start + offset,
+                wtp_buf[:, offset],
+                score_buf[:, offset],
+                pay_buf[:, offset],
+            )
+            floors[offset] = floor
+            ceilings[offset] = ceiling
+        p, g, u, f = price_mixed_bundle_batch(
+            wtp_buf[:, :count],
+            score_buf[:, :count],
+            pay_buf[:, :count],
+            floors[:count],
+            ceilings[:count],
+            adoption,
+            grid,
+            chunk_elements=(
+                chunk_elements if chunk_elements is not None else DEFAULT_CHUNK_ELEMENTS
+            ),
+        )
+        prices[start:stop] = p
+        gains[start:stop] = g
+        upgraded[start:stop] = u
+        feasible[start:stop] = f
+    return prices, gains, upgraded, feasible
+
+
+# ------------------------------------------------------------------ LRU cache
+class LRUArrayCache:
+    """A bounded mapping from bundles to per-user arrays (LRU eviction).
+
+    Long greedy runs touch thousands of transient merge candidates; caching
+    every candidate's O(M) raw-WTP vector is exactly the O(M·N²) blow-up
+    the streaming kernels avoid.  The engine therefore caches raw vectors
+    through this bounded store: hot parents (the live bundles the scans
+    derive candidates from) stay resident, cold entries are evicted and
+    recomputed on demand.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be a positive int, got {max_entries!r}"
+            )
+        self.max_entries = int(max_entries)
+        self._store: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        """The cached array for *key*, refreshed as most-recently-used."""
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            self._store[key] = value
+            return
+        if len(self._store) >= self.max_entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        self._store[key] = value
+
+    def pop(self, key, default=None):
+        return self._store.pop(key, default)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __contains__(self, key) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUArrayCache(size={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

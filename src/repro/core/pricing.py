@@ -195,19 +195,23 @@ def price_pure_batch(
     wtp_columns: np.ndarray,
     adoption: AdoptionModel | None = None,
     grid: PriceGrid | None = None,
+    chunk_elements: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized :func:`price_pure` over the columns of an ``(M, B)`` array.
 
     Returns ``(prices, revenues, buyers)`` arrays of length ``B``.  This is
     the hot path of the configuration algorithms: one call prices every
-    candidate pair of an iteration.
+    candidate pair of an iteration.  Every computation is column-independent,
+    so results are bit-identical however the caller batches the columns —
+    the streaming kernels of :mod:`repro.core.kernels` rely on this.
 
     For the deterministic model the scan uses a per-column histogram of
     effective WTP over the grid (O(M + T) per column, fully vectorized).
     For the sigmoid model it uses the paper's own consumer-bucketing device
     (Section 4.2): users are bucketed by effective WTP, and because bucket
     centres and price levels share one linear grid, only ``2T−1`` sigmoid
-    evaluations are needed per column.
+    evaluations are needed per column.  ``chunk_elements`` bounds the
+    explicit-grid and sigmoid paths' (levels × users × columns) temporaries.
     """
     adoption = adoption or StepAdoption()
     grid = grid or PriceGrid()
@@ -216,13 +220,7 @@ def price_pure_batch(
         raise ValidationError(f"wtp_columns must be 2-D, got shape {columns.shape}")
     n_users, n_bundles = columns.shape
     if grid.mode == "explicit":
-        # Rare path: price each column against the fixed list.
-        results = [price_pure(columns[:, j], adoption, grid) for j in range(n_bundles)]
-        return (
-            np.array([r.price for r in results]),
-            np.array([r.revenue for r in results]),
-            np.array([r.buyers for r in results]),
-        )
+        return _price_explicit_batch(columns, adoption, grid.candidates(None), chunk_elements)
     if grid.mode == "exact":
         return _price_exact_batch(columns, adoption)
 
@@ -248,9 +246,16 @@ def price_pure_batch(
 
     if adoption.is_deterministic:
         # buyers at level t = #users with effective >= t*step = #users with idx >= t.
-        hist = np.zeros((n_levels + 1, idx.shape[1]), dtype=np.float64)
-        cols = np.broadcast_to(np.arange(idx.shape[1]), idx.shape)
-        np.add.at(hist, (idx.ravel(), cols.ravel()), 1.0)
+        # bincount over a flattened (level, column) key is an order of
+        # magnitude faster than np.add.at and produces the same exact
+        # integer counts.
+        n_cols = idx.shape[1]
+        flat = idx * n_cols + np.arange(n_cols)[None, :]
+        hist = (
+            np.bincount(flat.ravel(), minlength=(n_levels + 1) * n_cols)
+            .reshape(n_levels + 1, n_cols)
+            .astype(np.float64)
+        )
         from_top = np.cumsum(hist[::-1, :], axis=0)[::-1, :]
         buyers_levels = from_top[1:, :]  # level t (1-based) -> count idx >= t
         levels = step[None, :] * np.arange(1, n_levels + 1)[:, None]
@@ -259,7 +264,11 @@ def price_pure_batch(
         gamma = getattr(adoption, "gamma", 1.0)
         levels = step[None, :] * np.arange(1, n_levels + 1)[:, None]
         buyers_levels = _sigmoid_buyers_exact(
-            columns[:, live], eff_live, levels, gamma
+            columns[:, live],
+            eff_live,
+            levels,
+            gamma,
+            chunk_elements=chunk_elements if chunk_elements is not None else 4_000_000,
         )
         revenue_levels = levels * buyers_levels
 
@@ -308,6 +317,60 @@ def _sigmoid_buyers_exact(
         probs *= in_market[None, :, start:stop]
         buyers[:, start:stop] = probs.sum(axis=1)
     return buyers
+
+
+def _price_explicit_batch(
+    columns: np.ndarray,
+    adoption: AdoptionModel,
+    levels: np.ndarray,
+    chunk_elements: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized explicit-grid pricing (arbitrary ascending price list).
+
+    Replaces the former per-column loop of scalar :func:`price_pure` calls:
+    adopter counts for all levels and a chunk of columns are computed in one
+    broadcast comparison (deterministic) or sigmoid evaluation (stochastic).
+    Semantics match :func:`price_pure` exactly — zero-WTP consumers are out
+    of the market, revenue ties break toward the lower price, and columns
+    whose best revenue is non-positive come back as all zeros.
+    """
+    n_users, n_bundles = columns.shape
+    n_levels = levels.size
+    prices = np.zeros(n_bundles)
+    revenues = np.zeros(n_bundles)
+    buyers_out = np.zeros(n_bundles)
+    if n_bundles == 0 or n_levels == 0:
+        return prices, revenues, buyers_out
+    effective = adoption.alpha * columns + adoption.epsilon
+    in_market = columns > 0
+    deterministic = adoption.is_deterministic
+    if deterministic:
+        compare = levels - LEVEL_RTOL * (1.0 + np.abs(levels))
+    gamma = getattr(adoption, "gamma", 1.0)
+    budget = chunk_elements if chunk_elements is not None else n_users * n_levels * n_bundles
+    chunk = max(1, budget // max(1, n_users * n_levels))
+    for start in range(0, n_bundles, chunk):
+        stop = min(start + chunk, n_bundles)
+        eff = effective[:, start:stop]
+        market = in_market[:, start:stop]
+        if deterministic:
+            adopter = (eff[None, :, :] >= compare[:, None, None]) & market[None, :, :]
+            buyers_levels = adopter.sum(axis=1).astype(np.float64)  # (T, c)
+        else:
+            z = np.clip(gamma * (eff[None, :, :] - levels[:, None, None]), -500.0, 500.0)
+            probs = 1.0 / (1.0 + np.exp(-z))
+            probs *= market[None, :, :]
+            buyers_levels = probs.sum(axis=1)
+        revenue_levels = levels[:, None] * buyers_levels
+        best = np.argmax(revenue_levels, axis=0)  # first (lowest) level on ties
+        span = np.arange(stop - start)
+        best_rev = revenue_levels[best, span]
+        positive = best_rev > 0
+        window = slice(start, stop)
+        prices[window] = np.where(positive, levels[best], 0.0)
+        revenues[window] = np.where(positive, best_rev, 0.0)
+        buyers_out[window] = np.where(positive, buyers_levels[best, span], 0.0)
+    return prices, revenues, buyers_out
 
 
 def _price_exact_batch(

@@ -13,26 +13,49 @@ revenue computation the configuration algorithms need:
   both");
 * operation counters used by the complexity experiments (Section 6.3).
 
+Memory discipline
+-----------------
+The pair scans are *streamed* through :mod:`repro.core.kernels`: candidate
+columns are materialized at most ``chunk_elements`` values at a time, so a
+scan over ~N²/2 candidates runs in O(chunk) rather than O(M·N²) memory.  A
+merged candidate's raw WTP is assembled incrementally as ``raw(b1) +
+raw(b2)`` from its cached parents instead of re-gathering item columns, and
+the raw-vector cache itself is LRU-bounded so arbitrarily long greedy runs
+stay memory-flat.  Co-support pruning runs on bit-packed masks
+(:mod:`repro.core.support`) — 8× smaller than boolean stacks, with
+word-AND intersection tests.
+
 Results of single-bundle pricing are cached by bundle, since both heuristics
 revisit surviving bundles across iterations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.adoption import AdoptionModel, StepAdoption
-from repro.core.bundle import Bundle
+from repro.core.kernels import (
+    DEFAULT_CHUNK_ELEMENTS,
+    LRUArrayCache,
+    check_chunk_elements,
+    stream_mixed_merges,
+    stream_pure_prices,
+)
 from repro.core.pricing import (
     MixedMerge,
     PriceGrid,
     PricedBundle,
     price_pure,
-    price_pure_batch,
 )
+from repro.core.support import (
+    bundle_support_bits,
+    co_supported_pairs_packed,
+    item_support_bits,
+)
+from repro.core.bundle import Bundle
 from repro.core.wtp import WTPMatrix
 from repro.errors import ValidationError
 from repro.utils.validation import check_fraction
@@ -89,7 +112,8 @@ class RevenueEngine:
     Parameters
     ----------
     wtp:
-        The M×N willingness-to-pay matrix.
+        The M×N willingness-to-pay matrix (or anything
+        :class:`~repro.core.wtp.WTPMatrix` accepts, including SciPy sparse).
     theta:
         Bundling coefficient θ of Equation 1 (default 0 — independent items,
         the conventional setting; Table 3).
@@ -100,18 +124,41 @@ class RevenueEngine:
         Price grid (default: 100 equi-spaced levels; Section 4.2).
     objective:
         Optional generalized objective; ``None`` means revenue maximization.
+    chunk_elements:
+        Element budget for the streaming pair-scan buffers; peak working
+        memory of a batch pricing call is a small constant multiple of
+        ``8 · chunk_elements`` bytes regardless of how many candidates are
+        scanned.  ``None`` disables chunking (the original unbounded
+        behaviour — O(M·N²) at scale).
+    precision:
+        WTP storage dtype override: ``"float64"`` (default) or
+        ``"float32"`` (half the matrix memory; pricing differs only by
+        float32 rounding).
+    storage:
+        WTP storage override: ``"dense"`` or ``"sparse"`` (SciPy CSC;
+        column sums cost density-proportional work).
+    raw_cache_entries:
+        Capacity of the LRU cache of per-bundle raw-WTP vectors (each O(M)).
+        Default ``max(2·n_items, 128)`` — enough for every singleton plus a
+        full set of live bundles, keeping long runs memory-flat.
     """
 
     def __init__(
         self,
-        wtp: WTPMatrix,
+        wtp,
         theta: float = 0.0,
         adoption: AdoptionModel | None = None,
         grid: PriceGrid | None = None,
         objective: Objective | None = None,
+        chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
+        precision: str | None = None,
+        storage: str | None = None,
+        raw_cache_entries: int | None = None,
     ) -> None:
         if not isinstance(wtp, WTPMatrix):
             wtp = WTPMatrix(wtp)
+        if precision is not None or storage is not None:
+            wtp = wtp.with_backend(storage=storage, dtype=precision)
         if theta <= -1.0:
             raise ValidationError(f"theta must be > -1, got {theta}")
         self.wtp = wtp
@@ -119,9 +166,13 @@ class RevenueEngine:
         self.adoption = adoption or StepAdoption()
         self.grid = grid or PriceGrid()
         self.objective = objective
+        self.chunk_elements = check_chunk_elements(chunk_elements)
         self.stats = EngineStats()
         self._price_cache: dict[Bundle, PricedBundle] = {}
-        self._raw_cache: dict[Bundle, np.ndarray] = {}
+        if raw_cache_entries is None:
+            raw_cache_entries = max(2 * wtp.n_items, 128)
+        self._raw_cache = LRUArrayCache(raw_cache_entries)
+        self._item_bits: np.ndarray | None = None
 
     # ------------------------------------------------------------ dimensions
     @property
@@ -150,12 +201,12 @@ class RevenueEngine:
         return 1.0 + self.theta if size >= 2 else 1.0
 
     def raw_wtp(self, bundle: Bundle) -> np.ndarray:
-        """Σ_{i∈b} w_{u,i} without the θ factor (cached)."""
+        """Σ_{i∈b} w_{u,i} without the θ factor (LRU-cached)."""
         cached = self._raw_cache.get(bundle)
         if cached is not None:
             return cached
-        raw = self.wtp.values[:, list(bundle.items)].sum(axis=1)
-        self._raw_cache[bundle] = raw
+        raw = self.wtp.raw_sum(bundle.items)
+        self._raw_cache.put(bundle, raw)
         return raw
 
     def bundle_wtp(self, bundle: Bundle) -> np.ndarray:
@@ -182,22 +233,32 @@ class RevenueEngine:
         self._price_cache[bundle] = priced
         return priced
 
+    def _price_streamed(self, missing: Sequence[Bundle], fill) -> None:
+        """Price *missing* bundles through the streaming kernel and cache them."""
+        prices, revenues, buyers = stream_pure_prices(
+            fill, len(missing), self.n_users, self.adoption, self.grid, self.chunk_elements
+        )
+        self.stats.pure_pricings += len(missing)
+        self.stats.batch_calls += 1
+        for j, bundle in enumerate(missing):
+            self._price_cache[bundle] = PricedBundle(
+                bundle, float(prices[j]), float(revenues[j]), float(buyers[j])
+            )
+
     def price_bundles(self, bundles: Sequence[Bundle]) -> list[PricedBundle]:
-        """Batch :meth:`price_bundle`; prices uncached bundles in one pass."""
+        """Batch :meth:`price_bundle`; streams uncached bundles in chunks."""
         missing = [b for b in bundles if b not in self._price_cache]
         if missing:
             if self.objective is not None and not self.objective.is_pure_revenue:
                 for bundle in missing:
                     self.price_bundle(bundle)
             else:
-                columns = np.stack([self.bundle_wtp(b) for b in missing], axis=1)
-                prices, revenues, buyers = price_pure_batch(columns, self.adoption, self.grid)
-                self.stats.pure_pricings += len(missing)
-                self.stats.batch_calls += 1
-                for j, bundle in enumerate(missing):
-                    self._price_cache[bundle] = PricedBundle(
-                        bundle, float(prices[j]), float(revenues[j]), float(buyers[j])
-                    )
+
+                def fill(block: np.ndarray, start: int, stop: int) -> None:
+                    for offset, bundle in enumerate(missing[start:stop]):
+                        block[:, offset] = self.bundle_wtp(bundle)
+
+                self._price_streamed(missing, fill)
         return [self._price_cache[b] for b in bundles]
 
     def price_components(self) -> list[PricedBundle]:
@@ -209,13 +270,45 @@ class RevenueEngine:
     ) -> tuple[np.ndarray, list[PricedBundle]]:
         """Gain ``r(b1∪b2) − r(b1) − r(b2)`` for each candidate pair.
 
-        Returns the gains and the priced merged bundles (which are also
-        cached, so applying a selected merge costs nothing extra).
+        Candidate columns are built incrementally — ``raw(b1) + raw(b2)``
+        from the cached parent vectors, never a per-candidate gather — and
+        streamed through the chunked pricing kernel, so the scan's working
+        memory is bounded by ``chunk_elements`` however many pairs it
+        covers.  Returns the gains and the priced merged bundles (which are
+        also cached, so applying a selected merge costs nothing extra).
         """
         if not pairs:
             return np.empty(0), []
         merged_bundles = [priced[i].bundle | priced[j].bundle for i, j in pairs]
-        merged_priced = self.price_bundles(merged_bundles)
+        if self.objective is not None and not self.objective.is_pure_revenue:
+            merged_priced = self.price_bundles(merged_bundles)
+        else:
+            missing: list[Bundle] = []
+            missing_pairs: list[tuple[int, int]] = []
+            seen: set[Bundle] = set()
+            for k, bundle in enumerate(merged_bundles):
+                if bundle in self._price_cache or bundle in seen:
+                    continue
+                seen.add(bundle)
+                missing.append(bundle)
+                missing_pairs.append(pairs[k])
+            if missing:
+
+                def fill(block: np.ndarray, start: int, stop: int) -> None:
+                    for offset in range(stop - start):
+                        i, j = missing_pairs[start + offset]
+                        column = block[:, offset]
+                        np.add(
+                            self.raw_wtp(priced[i].bundle),
+                            self.raw_wtp(priced[j].bundle),
+                            out=column,
+                        )
+                        scale = self._scale(missing[start + offset].size)
+                        if scale != 1.0:
+                            column *= scale
+
+                self._price_streamed(missing, fill)
+            merged_priced = [self._price_cache[b] for b in merged_bundles]
         gains = np.array(
             [
                 merged_priced[k].revenue - priced[i].revenue - priced[j].revenue
@@ -237,13 +330,14 @@ class RevenueEngine:
         states: Sequence["SubtreeState"],
         pairs: Sequence[tuple[int, int]],
     ) -> list[MixedMerge]:
-        """Incremental mixed pricing for each candidate pair (batched).
+        """Incremental mixed pricing for each candidate pair (streamed).
 
         For pair (b1, b2) the merged bundle is priced inside the Guiltinan
         interval ``(max(p1, p2), p1 + p2)`` and its *additional* expected
         revenue over the two subtrees' current offers is returned
         (Section 4.2's upgrade semantics, exact for arbitrarily nested
-        offers via the subtree-state recursion).
+        offers via the subtree-state recursion).  Per-pair columns are
+        assembled one chunk at a time, never the full (M, P) stack.
         """
         if not pairs:
             return []
@@ -271,28 +365,24 @@ class RevenueEngine:
                     )
                 )
             return results
-        from repro.core.pricing import price_mixed_bundle_batch
 
-        n_users = self.n_users
-        n_pairs = len(pairs)
-        wtp_b = np.empty((n_users, n_pairs))
-        base_scores = np.empty((n_users, n_pairs))
-        base_pays = np.empty((n_users, n_pairs))
-        floors = np.empty(n_pairs)
-        ceilings = np.empty(n_pairs)
-        merged_bundles: list[Bundle] = []
-        for k, (i, j) in enumerate(pairs):
+        merged_bundles = [priced[i].bundle | priced[j].bundle for i, j in pairs]
+
+        def fill_pair(
+            k: int, wtp_col: np.ndarray, score_col: np.ndarray, pay_col: np.ndarray
+        ) -> tuple[float, float]:
+            i, j = pairs[k]
             first, second = priced[i], priced[j]
-            union = first.bundle | second.bundle
-            merged_bundles.append(union)
-            raw = self.raw_wtp(first.bundle) + self.raw_wtp(second.bundle)
-            wtp_b[:, k] = raw * self._scale(union.size)
-            base_scores[:, k] = states[i].score + states[j].score
-            base_pays[:, k] = states[i].pay + states[j].pay
-            floors[k] = max(first.price, second.price)
-            ceilings[k] = first.price + second.price
-        prices, gains, upgraded, feasible = price_mixed_bundle_batch(
-            wtp_b, base_scores, base_pays, floors, ceilings, self.adoption, self.grid
+            np.add(self.raw_wtp(first.bundle), self.raw_wtp(second.bundle), out=wtp_col)
+            scale = self._scale(merged_bundles[k].size)
+            if scale != 1.0:
+                wtp_col *= scale
+            np.add(states[i].score, states[j].score, out=score_col)
+            np.add(states[i].pay, states[j].pay, out=pay_col)
+            return max(first.price, second.price), first.price + second.price
+
+        prices, gains, upgraded, feasible = stream_mixed_merges(
+            fill_pair, len(pairs), self.n_users, self.adoption, self.grid, self.chunk_elements
         )
         return [
             MixedMerge(
@@ -302,7 +392,7 @@ class RevenueEngine:
                 upgraded=float(upgraded[k]),
                 feasible=bool(feasible[k]),
             )
-            for k in range(n_pairs)
+            for k in range(len(pairs))
         ]
 
     def mixed_merge(
@@ -364,20 +454,29 @@ class RevenueEngine:
         )
 
     # -------------------------------------------------------------- pruning
+    def support_bits(self, bundle: Bundle) -> np.ndarray:
+        """Packed (uint8-word) mask of users with positive WTP for *bundle*.
+
+        Exactly the bit-packing of ``raw_wtp(bundle) > 0`` — a sum of
+        non-negative values is positive iff one addend is — at 1/8th the
+        memory of a boolean mask and none of the O(M) float work.
+        """
+        if self._item_bits is None:
+            self._item_bits = item_support_bits(self.wtp)
+        return bundle_support_bits(self._item_bits, bundle.items)
+
     def co_supported_pairs(self, bundles: Sequence[Bundle]) -> list[tuple[int, int]]:
         """Pairs with at least one consumer valuing both sides positively.
 
         This is pruning strategy 1 of Section 5.3.1: a consumer who wants
         only one side contributes no extra willingness to pay, so pairs with
-        empty co-support can never produce a revenue gain.
+        empty co-support can never produce a revenue gain.  Runs on packed
+        support words; pair order matches the dense upper-triangle scan.
         """
         if len(bundles) < 2:
             return []
-        support = np.stack([self.raw_wtp(b) > 0 for b in bundles], axis=1)
-        counts = support.T.astype(np.float32) @ support.astype(np.float32)
-        upper = np.triu(counts > 0, k=1)
-        rows, cols = np.nonzero(upper)
-        return list(zip(rows.tolist(), cols.tolist()))
+        packed = np.stack([self.support_bits(b) for b in bundles])
+        return co_supported_pairs_packed(packed)
 
     # ------------------------------------------------------------- objective
     def _price_with_objective(self, bundle: Bundle) -> PricedBundle:

@@ -12,6 +12,29 @@ Bundle-level willingness to pay follows Equation 1:
 with the convention — implied by the paper's statement that "θ only applies
 to bundling, Components is not affected by θ" — that the interaction factor
 ``(1 + θ)`` applies only to bundles of two or more items.
+
+Storage backends
+----------------
+Ratings-derived WTP matrices (Section 6.1.1) are overwhelmingly sparse —
+most consumers rate a tiny fraction of the catalogue — and the scalability
+study (Section 6.3) clones users into populations where a dense float64
+copy alone dominates memory.  The matrix therefore supports three storage
+backends behind one interface:
+
+``storage="dense", dtype=float64``
+    The default; numerically identical to the original implementation.
+``storage="dense", dtype=float32``
+    Half the memory; per-user sums are computed in float32 and returned as
+    float64, so downstream pricing differs only by float32 rounding.
+``storage="sparse"``
+    SciPy CSC (column-compressed — every kernel access is column-oriented),
+    float64 or float32 data; column sums and support masks cost
+    density-proportional work and memory.
+
+The kernel-facing contract is :meth:`WTPMatrix.raw_sum` (per-user sum over
+item columns, always float64 out) and :meth:`WTPMatrix.support_mask`
+(boolean "values any item positive" mask); both are exact for the default
+backend — bit-identical to ``values[:, items].sum(axis=1)``.
 """
 
 from __future__ import annotations
@@ -23,21 +46,104 @@ import numpy as np
 from repro.core.bundle import Bundle
 from repro.errors import ValidationError
 
+DENSE = "dense"
+SPARSE = "sparse"
+STORAGES = (DENSE, SPARSE)
+
+_DTYPE_NAMES = {"float64": np.float64, "float32": np.float32}
+
+
+def _resolve_dtype(dtype) -> type:
+    """Normalize a dtype spec to ``np.float64`` or ``np.float32``."""
+    if dtype is None:
+        return np.float64
+    if isinstance(dtype, str) and dtype in _DTYPE_NAMES:
+        return _DTYPE_NAMES[dtype]
+    resolved = np.dtype(dtype)
+    for candidate in (np.float64, np.float32):
+        if resolved == np.dtype(candidate):
+            return candidate
+    raise ValidationError(
+        f"WTP dtype must be float64 or float32, got {dtype!r}"
+    )
+
+
+def _scipy_sparse():
+    """The sparse backend's only dependency, imported lazily."""
+    try:
+        import scipy.sparse as sp
+    except ImportError as exc:  # pragma: no cover - scipy ships with the image
+        raise ValidationError(
+            "the sparse WTP backend requires scipy; install it or use storage='dense'"
+        ) from exc
+    return sp
+
+
+def _is_sparse(values) -> bool:
+    try:
+        import scipy.sparse as sp
+    except ImportError:  # pragma: no cover
+        return False
+    return sp.issparse(values)
+
 
 class WTPMatrix:
-    """Dense M×N willingness-to-pay matrix with optional labels.
+    """M×N willingness-to-pay matrix with pluggable storage.
 
     Parameters
     ----------
     values:
-        Array-like of shape ``(n_users, n_items)``; entries must be finite
-        and non-negative.  The array is copied and frozen.
+        Array-like of shape ``(n_users, n_items)`` — or a SciPy sparse
+        matrix.  Entries must be finite and non-negative.  Input is copied
+        (dense storage is frozen read-only).
     item_labels:
         Optional human-readable item names (used by case-study reports).
+    storage:
+        ``"dense"`` or ``"sparse"``; ``None`` (default) keeps sparse input
+        sparse and everything else dense.
+    dtype:
+        ``float64`` (default) or ``float32``.
     """
 
-    def __init__(self, values, item_labels: Sequence[str] | None = None) -> None:
-        array = np.asarray(values, dtype=np.float64)
+    def __init__(
+        self,
+        values,
+        item_labels: Sequence[str] | None = None,
+        *,
+        storage: str | None = None,
+        dtype=None,
+    ) -> None:
+        if isinstance(values, WTPMatrix):
+            if item_labels is None:
+                item_labels = values.item_labels
+            values = values._csc if values.storage == SPARSE else values._values
+        if storage is None:
+            storage = SPARSE if _is_sparse(values) else DENSE
+        if storage not in STORAGES:
+            raise ValidationError(f"storage must be one of {STORAGES}, got {storage!r}")
+        self._storage = storage
+        self._dtype = _resolve_dtype(dtype)
+        if storage == DENSE:
+            self._values = self._build_dense(values)
+            self._csc = None
+        else:
+            self._csc = self._build_sparse(values)
+            self._values = None
+        if item_labels is not None:
+            labels = [str(label) for label in item_labels]
+            if len(labels) != self.n_items:
+                raise ValidationError(
+                    f"got {len(labels)} item labels for {self.n_items} items"
+                )
+            self._item_labels: tuple[str, ...] | None = tuple(labels)
+        else:
+            self._item_labels = None
+
+    # ------------------------------------------------------------ construction
+    def _build_dense(self, values) -> np.ndarray:
+        if _is_sparse(values):
+            values = values.toarray()
+        array = np.asarray(values, dtype=self._dtype)
         if array.ndim != 2:
             raise ValidationError(f"WTP matrix must be 2-D, got shape {array.shape}")
         if array.shape[0] == 0 or array.shape[1] == 0:
@@ -48,31 +154,81 @@ class WTPMatrix:
             raise ValidationError("WTP matrix contains negative entries")
         array = array.copy()
         array.setflags(write=False)
-        self._values = array
-        if item_labels is not None:
-            labels = [str(label) for label in item_labels]
-            if len(labels) != array.shape[1]:
+        return array
+
+    def _build_sparse(self, values):
+        sp = _scipy_sparse()
+        if not sp.issparse(values):
+            values = np.asarray(values, dtype=self._dtype)
+            if values.ndim != 2:
                 raise ValidationError(
-                    f"got {len(labels)} item labels for {array.shape[1]} items"
+                    f"WTP matrix must be 2-D, got shape {values.shape}"
                 )
-            self._item_labels: tuple[str, ...] | None = tuple(labels)
-        else:
-            self._item_labels = None
+        matrix = sp.csc_array(values, dtype=self._dtype)
+        if matrix.ndim != 2:
+            raise ValidationError(f"WTP matrix must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ValidationError(
+                f"WTP matrix must be non-empty, got shape {matrix.shape}"
+            )
+        matrix.sum_duplicates()
+        if not np.all(np.isfinite(matrix.data)):
+            raise ValidationError("WTP matrix contains non-finite entries")
+        if np.any(matrix.data < 0):
+            raise ValidationError("WTP matrix contains negative entries")
+        # Stored structure == positive support, relied on by support_mask.
+        matrix.eliminate_zeros()
+        return matrix
 
     # ------------------------------------------------------------------ shape
     @property
     def n_users(self) -> int:
         """M, the number of consumers."""
-        return self._values.shape[0]
+        return self._shape[0]
 
     @property
     def n_items(self) -> int:
         """N, the number of items."""
-        return self._values.shape[1]
+        return self._shape[1]
+
+    @property
+    def _shape(self) -> tuple[int, int]:
+        return self._values.shape if self._csc is None else self._csc.shape
+
+    @property
+    def storage(self) -> str:
+        """``"dense"`` or ``"sparse"``."""
+        return self._storage
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the backing store."""
+        return np.dtype(self._dtype)
+
+    @property
+    def nnz(self) -> int:
+        """Number of positive entries."""
+        if self._csc is not None:
+            return int(self._csc.nnz)
+        return int(np.count_nonzero(self._values))
+
+    @property
+    def density(self) -> float:
+        """Fraction of positive entries."""
+        return self.nnz / (self.n_users * self.n_items)
 
     @property
     def values(self) -> np.ndarray:
-        """The underlying read-only ``(M, N)`` array."""
+        """The matrix as a read-only dense array.
+
+        For the sparse backend this *materializes* an M×N array on every
+        access — use :meth:`raw_sum` / :meth:`support_mask` / :meth:`column`
+        in anything performance- or memory-sensitive.
+        """
+        if self._csc is not None:
+            dense = self._csc.toarray()
+            dense.setflags(write=False)
+            return dense
         return self._values
 
     @property
@@ -94,30 +250,80 @@ class WTPMatrix:
         The denominator of the paper's *revenue coverage* metric
         (Section 6.1.2).
         """
+        if self._csc is not None:
+            return float(self._csc.data.sum(dtype=np.float64))
         return float(self._values.sum())
 
     def column(self, item: int) -> np.ndarray:
-        """Per-user WTP for a single item (read-only view)."""
+        """Per-user WTP for a single item (read-only, storage dtype)."""
+        if self._csc is not None:
+            dense = self._csc[:, [item]].toarray().ravel()
+            dense.setflags(write=False)
+            return dense
         return self._values[:, item]
 
+    # --------------------------------------------------------- kernel contract
+    def raw_sum(self, items: Sequence[int]) -> np.ndarray:
+        """Per-user WTP summed over *items*, as float64.
+
+        This is the kernel-facing raw-WTP primitive.  For the default dense
+        float64 backend it is exactly ``values[:, list(items)].sum(axis=1)``
+        (bit-identical to the original implementation); the float32 backend
+        sums in float32 before widening; the sparse backend sums only
+        stored entries.
+        """
+        items = list(items)
+        if self._csc is not None:
+            out = self._csc[:, items].sum(axis=1)
+            return np.asarray(out, dtype=np.float64).ravel()
+        raw = self._values[:, items].sum(axis=1)
+        if raw.dtype != np.float64:
+            raw = raw.astype(np.float64)
+        return raw
+
+    def support_mask(self, items: Sequence[int]) -> np.ndarray:
+        """Boolean mask of users with positive WTP for *any* of *items*."""
+        items = list(items)
+        if self._csc is not None:
+            mask = np.zeros(self.n_users, dtype=bool)
+            indptr, indices = self._csc.indptr, self._csc.indices
+            for item in items:
+                mask[indices[indptr[item] : indptr[item + 1]]] = True
+            return mask
+        return (self._values[:, items] > 0).any(axis=1)
+
     def bundle_wtp(self, bundle: Bundle, theta: float = 0.0) -> np.ndarray:
-        """Per-user WTP for *bundle* under Equation 1.
+        """Per-user WTP for *bundle* under Equation 1 (float64).
 
         The ``(1 + θ)`` interaction factor applies only when the bundle has
         two or more items; a singleton's WTP is the item's WTP unchanged.
         """
         if bundle.size == 1:
-            return self._values[:, bundle.items[0]].copy()
-        raw = self._values[:, list(bundle.items)].sum(axis=1)
-        return raw * (1.0 + theta)
+            return np.asarray(self.column(bundle.items[0]), dtype=np.float64).copy()
+        return self.raw_sum(bundle.items) * (1.0 + theta)
 
     def support(self, bundle: Bundle) -> np.ndarray:
         """Boolean mask of users with positive WTP for any item of *bundle*."""
-        if bundle.size == 1:
-            return self._values[:, bundle.items[0]] > 0
-        return (self._values[:, list(bundle.items)] > 0).any(axis=1)
+        return self.support_mask(bundle.items)
 
     # ----------------------------------------------------------- derivations
+    def with_backend(self, storage: str | None = None, dtype=None) -> "WTPMatrix":
+        """This matrix converted to another storage backend / dtype.
+
+        Returns ``self`` when nothing changes.
+        """
+        target_storage = storage if storage is not None else self._storage
+        target_dtype = _resolve_dtype(dtype) if dtype is not None else self._dtype
+        if target_storage == self._storage and target_dtype == self._dtype:
+            return self
+        source = self._csc if self._csc is not None else self._values
+        return WTPMatrix(
+            source,
+            item_labels=self._item_labels,
+            storage=target_storage,
+            dtype=target_dtype,
+        )
+
     def subset_items(self, items: Sequence[int]) -> "WTPMatrix":
         """A new matrix restricted to the given item columns (reindexed 0..)."""
         items = list(items)
@@ -126,14 +332,28 @@ class WTPMatrix:
         labels = None
         if self._item_labels is not None:
             labels = [self._item_labels[i] for i in items]
-        return WTPMatrix(self._values[:, items], item_labels=labels)
+        source = (
+            self._csc[:, items] if self._csc is not None else self._values[:, items]
+        )
+        return WTPMatrix(
+            source, item_labels=labels, storage=self._storage, dtype=self._dtype
+        )
 
     def subset_users(self, users: Sequence[int]) -> "WTPMatrix":
         """A new matrix restricted to the given user rows."""
         users = list(users)
         if not users:
             raise ValidationError("cannot build a WTP matrix with zero users")
-        return WTPMatrix(self._values[users, :], item_labels=self._item_labels)
+        if self._csc is not None:
+            source = self._csc.tocsr()[users, :]
+        else:
+            source = self._values[users, :]
+        return WTPMatrix(
+            source,
+            item_labels=self._item_labels,
+            storage=self._storage,
+            dtype=self._dtype,
+        )
 
     def clone_users(self, factor: int) -> "WTPMatrix":
         """Stack *factor* copies of the user population (Section 6.3).
@@ -143,14 +363,37 @@ class WTPMatrix:
         """
         if factor < 1:
             raise ValidationError(f"clone factor must be >= 1, got {factor}")
-        stacked = np.vstack([self._values] * factor)
-        return WTPMatrix(stacked, item_labels=self._item_labels)
+        if self._csc is not None:
+            sp = _scipy_sparse()
+            source = sp.vstack([self._csc] * factor, format="csc")
+        else:
+            source = np.vstack([self._values] * factor)
+        return WTPMatrix(
+            source,
+            item_labels=self._item_labels,
+            storage=self._storage,
+            dtype=self._dtype,
+        )
 
     def scaled(self, factor: float) -> "WTPMatrix":
         """A new matrix with every entry multiplied by *factor* (> 0)."""
         if factor <= 0:
             raise ValidationError(f"scale factor must be > 0, got {factor}")
-        return WTPMatrix(self._values * factor, item_labels=self._item_labels)
+        source = (
+            self._csc * factor if self._csc is not None else self._values * factor
+        )
+        return WTPMatrix(
+            source,
+            item_labels=self._item_labels,
+            storage=self._storage,
+            dtype=self._dtype,
+        )
 
     def __repr__(self) -> str:
-        return f"WTPMatrix(n_users={self.n_users}, n_items={self.n_items}, total={self.total:.2f})"
+        backend = ""
+        if self._storage != DENSE or self._dtype is not np.float64:
+            backend = f", storage={self._storage!r}, dtype={np.dtype(self._dtype).name!r}"
+        return (
+            f"WTPMatrix(n_users={self.n_users}, n_items={self.n_items}, "
+            f"total={self.total:.2f}{backend})"
+        )
