@@ -1,7 +1,7 @@
 """Machine-readable scalability benchmark (Section 6.3 at streaming scale).
 
-Clones the Figure 7(a) workload up to hundreds of thousands of users and
-runs the pure matching heuristic once per (backend × clone factor) cell,
+Clones the Figure 7(a) workload up to one million users and runs the
+matching heuristic once per (algorithm × backend × clone factor) cell,
 recording wall-clock, Python-level peak memory (``tracemalloc``), and the
 process high-water RSS (``resource.getrusage``).  Results land in
 ``BENCH_scalability.json`` at the repo root so future PRs can diff the
@@ -14,23 +14,39 @@ Backends
     candidate stack is materialized at once.  This is the *before* column.
 ``streaming-float64``
     The default streaming engine; bit-identical results, bounded buffers.
+``streaming-float64-w4``
+    The streaming engine with ``n_workers=4``: chunks fan out over a
+    thread pool (bit-identical to serial; wall-clock scales with *cores* —
+    check ``platform.cpu_count`` in the report before reading the ratio).
 ``streaming-float32`` / ``streaming-sparse``
     The reduced-precision and CSC-sparse WTP storage backends.
+``streaming-lean-mixed`` / ``streaming-lean-mixed-w4``
+    ``state_dtype=float32``: mixed-strategy subtree states at half memory,
+    serial and 4-worker — the backends that carry mixed matching to 1M
+    users.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/scalability_json.py
     PYTHONPATH=src python benchmarks/scalability_json.py --factors 50 125 250
 
-The pure matching heuristic is capped at two iterations: the first
-iteration's full pair scan is exactly the allocation the streaming kernels
-bound, and a fixed cap keeps cells comparable across factors.
+The committed artifact is produced by the full matrix::
+
+    PYTHONPATH=src python benchmarks/scalability_json.py \
+        --factors 250 2500 --backends streaming-float64 streaming-float64-w4 \
+        --mixed-factors 2500 --mixed-backends streaming-lean-mixed-w4
+
+The matching heuristic is capped at two iterations (one for the 1M mixed
+cell): the first iteration's full pair scan is exactly the allocation the
+streaming kernels bound, and a fixed cap keeps cells comparable across
+factors.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import resource
 import time
@@ -50,18 +66,23 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scalability.json"
 BACKENDS = {
     "unchunked-float64": {"chunk_elements": None},
     "streaming-float64": {},
+    "streaming-float64-w4": {"n_workers": 4},
     "streaming-float32": {"precision": "float32"},
     "streaming-sparse": {"storage": "sparse"},
+    "streaming-lean-mixed": {"state_dtype": "float32"},
+    "streaming-lean-mixed-w4": {"state_dtype": "float32", "n_workers": 4},
 }
 
 
-def measure_cell(wtp, backend_kwargs: dict, max_iterations: int) -> dict:
-    """One (backend, factor) cell: fit pure matching under tracemalloc."""
+def measure_cell(wtp, backend_kwargs: dict, strategy: str, max_iterations: int) -> dict:
+    """One (algorithm, backend, factor) cell: fit matching under tracemalloc."""
     rss_before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     tracemalloc.start()
     started = time.perf_counter()
     engine = RevenueEngine(wtp, **backend_kwargs)
-    result = IterativeMatching(strategy="pure", max_iterations=max_iterations).fit(engine)
+    result = IterativeMatching(strategy=strategy, max_iterations=max_iterations).fit(
+        engine
+    )
     wall = time.perf_counter() - started
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -73,18 +94,101 @@ def measure_cell(wtp, backend_kwargs: dict, max_iterations: int) -> dict:
         "ru_maxrss_grew": bool(rss_after > rss_before),
         "expected_revenue": result.expected_revenue,
         "iterations": result.n_iterations,
+        "max_iterations": max_iterations,
     }
 
 
-def run(factors, base_users, base_items, seed, max_iterations, backends) -> dict:
-    dataset = amazon_books_like(n_users=base_users, n_items=base_items, seed=seed)
-    base_wtp = wtp_from_ratings(dataset, conversion=1.25)
-    runs = []
+def summarize(runs: list[dict]) -> dict:
+    """Cross-cell ratios: streaming-vs-unchunked and serial-vs-parallel."""
+    summary: dict = {}
+
+    def cell(algorithm, backend, factor):
+        for run_ in runs:
+            if (
+                run_["algorithm"] == algorithm
+                and run_["backend"] == backend
+                and run_["clone_factor"] == factor
+            ):
+                return run_
+        return None
+
+    factors = sorted({r["clone_factor"] for r in runs}, reverse=True)
     for factor in factors:
+        before = cell("pure", "unchunked-float64", factor)
+        after = cell("pure", "streaming-float64", factor)
+        if before and after:
+            summary["streaming_vs_unchunked"] = {
+                "clone_factor": factor,
+                "n_users": after["n_users"],
+                "peak_memory_reduction_x": round(
+                    before["tracemalloc_peak_mb"]
+                    / max(after["tracemalloc_peak_mb"], 1e-9),
+                    2,
+                ),
+                "wall_clock_speedup_x": round(
+                    before["wall_seconds"] / max(after["wall_seconds"], 1e-9), 2
+                ),
+                "revenues_identical": before["expected_revenue"]
+                == after["expected_revenue"],
+            }
+            break
+    for factor in factors:
+        serial = cell("pure", "streaming-float64", factor)
+        threaded = cell("pure", "streaming-float64-w4", factor)
+        if serial and threaded:
+            summary["parallel_vs_serial"] = {
+                "clone_factor": factor,
+                "n_users": serial["n_users"],
+                "n_workers": 4,
+                "serial_wall_seconds": serial["wall_seconds"],
+                "parallel_wall_seconds": threaded["wall_seconds"],
+                "wall_clock_speedup_x": round(
+                    serial["wall_seconds"] / max(threaded["wall_seconds"], 1e-9), 2
+                ),
+                "revenues_identical": serial["expected_revenue"]
+                == threaded["expected_revenue"],
+            }
+            break
+    million = [r for r in runs if r["n_users"] >= 1_000_000]
+    if million:
+        summary["million_user_runs"] = [
+            {
+                "algorithm": r["algorithm"],
+                "backend": r["backend"],
+                "n_users": r["n_users"],
+                "wall_seconds": r["wall_seconds"],
+                "ru_maxrss_mb": r["ru_maxrss_mb"],
+                "iterations": r["iterations"],
+                "completed": True,
+            }
+            for r in million
+        ]
+    return summary
+
+
+def run(args) -> dict:
+    dataset = amazon_books_like(
+        n_users=args.base_users, n_items=args.base_items, seed=args.seed
+    )
+    base_wtp = wtp_from_ratings(dataset, conversion=1.25)
+    plan: dict[int, list[tuple[str, str, int]]] = {}
+    for factor in args.factors:
+        plan.setdefault(factor, []).extend(
+            ("pure", backend, args.max_iterations) for backend in args.backends
+        )
+    for factor in args.mixed_factors:
+        plan.setdefault(factor, []).extend(
+            ("mixed", backend, args.mixed_max_iterations)
+            for backend in args.mixed_backends
+        )
+
+    runs = []
+    for factor in sorted(plan):
         wtp = base_wtp.clone_users(factor) if factor > 1 else base_wtp
-        for backend in backends:
-            cell = measure_cell(wtp, BACKENDS[backend], max_iterations)
+        for strategy, backend, max_iterations in plan[factor]:
+            cell = measure_cell(wtp, BACKENDS[backend], strategy, max_iterations)
             cell.update(
+                algorithm=strategy,
                 backend=backend,
                 clone_factor=factor,
                 n_users=wtp.n_users,
@@ -92,40 +196,30 @@ def run(factors, base_users, base_items, seed, max_iterations, backends) -> dict
             )
             runs.append(cell)
             print(
-                f"factor={factor:>4} users={wtp.n_users:>8} {backend:<20} "
-                f"wall={cell['wall_seconds']:>8.2f}s "
+                f"factor={factor:>4} users={wtp.n_users:>8} {strategy:<5} "
+                f"{backend:<22} wall={cell['wall_seconds']:>8.2f}s "
                 f"peak={cell['tracemalloc_peak_mb']:>9.1f}MB "
-                f"revenue={cell['expected_revenue']:.2f}"
+                f"revenue={cell['expected_revenue']:.2f}",
+                flush=True,
             )
         del wtp
 
-    largest = max(factors)
-    at_largest = {r["backend"]: r for r in runs if r["clone_factor"] == largest}
-    summary = {}
-    if "unchunked-float64" in at_largest and "streaming-float64" in at_largest:
-        before = at_largest["unchunked-float64"]
-        after = at_largest["streaming-float64"]
-        summary = {
-            "largest_clone_factor": largest,
-            "n_users_at_largest": before["n_users"],
-            "peak_memory_reduction_x": round(
-                before["tracemalloc_peak_mb"] / max(after["tracemalloc_peak_mb"], 1e-9), 2
-            ),
-            "wall_clock_speedup_x": round(
-                before["wall_seconds"] / max(after["wall_seconds"], 1e-9), 2
-            ),
-            "revenues_identical": before["expected_revenue"] == after["expected_revenue"],
-        }
     return {
-        "benchmark": "scalability (Figure 7a workload, pure matching, capped iterations)",
-        "base": {"n_users": base_users, "n_items": base_items, "seed": seed},
-        "max_iterations": max_iterations,
+        "benchmark": "scalability (Figure 7a workload, matching, capped iterations)",
+        "base": {
+            "n_users": args.base_users,
+            "n_items": args.base_items,
+            "seed": args.seed,
+        },
         "chunk_elements": DEFAULT_CHUNK_ELEMENTS,
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            # Thread speedups are bounded by this: on a 1-CPU container the
+            # 4-worker columns measure overhead, not parallelism.
+            "cpu_count": os.cpu_count(),
         },
-        "summary": summary,
+        "summary": summarize(runs),
         "runs": runs,
     }
 
@@ -138,18 +232,36 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2)
     parser.add_argument("--max-iterations", type=int, default=2)
     parser.add_argument(
-        "--backends", nargs="+", choices=sorted(BACKENDS), default=list(BACKENDS)
+        "--backends",
+        nargs="+",
+        choices=sorted(BACKENDS),
+        default=["unchunked-float64", "streaming-float64", "streaming-float32", "streaming-sparse"],
+        help="backends for the pure matching cells",
+    )
+    parser.add_argument(
+        "--mixed-factors",
+        type=int,
+        nargs="*",
+        default=[],
+        help="clone factors at which to run mixed matching cells",
+    )
+    parser.add_argument(
+        "--mixed-backends",
+        nargs="+",
+        choices=sorted(BACKENDS),
+        default=["streaming-lean-mixed-w4"],
+        help="backends for the mixed matching cells",
+    )
+    parser.add_argument(
+        "--mixed-max-iterations",
+        type=int,
+        default=1,
+        help="iteration cap for mixed cells (the scan per iteration is ~20x "
+        "a pure one at 1M users)",
     )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
-    report = run(
-        args.factors,
-        args.base_users,
-        args.base_items,
-        args.seed,
-        args.max_iterations,
-        args.backends,
-    )
+    report = run(args)
     args.output.write_text(json.dumps(report, indent=1) + "\n")
     print(f"\nwrote {args.output}")
     if report["summary"]:

@@ -17,6 +17,7 @@ Examples
 
     python -m repro bundle --algorithm mixed_matching --users 400 --items 60
     python -m repro bundle --ratings r.csv --prices p.csv --algorithm pure_greedy
+    python -m repro bundle --storage sparse --precision float32 --n-workers 4
     python -m repro experiment table2
     python -m repro generate --users 500 --items 80 --out-ratings r.csv --out-prices p.csv
 """
@@ -66,6 +67,28 @@ def _build_parser() -> argparse.ArgumentParser:
     bundle.add_argument("--conversion", type=float, default=1.25, help="lambda")
     bundle.add_argument("--theta", type=float, default=0.0)
     bundle.add_argument("--k", type=int, default=None, help="max bundle size")
+    backend = bundle.add_argument_group("engine backend")
+    backend.add_argument(
+        "--precision", choices=("float64", "float32"), default=None,
+        help="WTP storage dtype (float32 halves matrix memory)",
+    )
+    backend.add_argument(
+        "--storage", choices=("dense", "sparse"), default=None,
+        help="WTP storage backend (sparse = SciPy CSC)",
+    )
+    backend.add_argument(
+        "--chunk-elements", type=int, default=None, metavar="N",
+        help="element budget per streaming buffer (0 = unchunked; "
+             "default: the engine's 4M-element budget)",
+    )
+    backend.add_argument(
+        "--n-workers", type=int, default=1, metavar="W",
+        help="worker threads for the streaming pair scans (default 1)",
+    )
+    backend.add_argument(
+        "--state-dtype", choices=("float64", "float32"), default=None,
+        help="mixed-strategy subtree-state dtype (float32 halves O(N*M) state)",
+    )
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("name", choices=EXPERIMENTS)
@@ -87,8 +110,19 @@ def _command_bundle(args) -> int:
         dataset = load_ratings_csv(args.ratings, args.prices)
     else:
         dataset = _synthetic(args.users, args.items, args.seed)
+    engine_kwargs = {}
+    if args.precision is not None:
+        engine_kwargs["precision"] = args.precision
+    if args.storage is not None:
+        engine_kwargs["storage"] = args.storage
+    if args.chunk_elements is not None:
+        # 0 disables chunking (the engine's `None` convention).
+        engine_kwargs["chunk_elements"] = args.chunk_elements or None
+    if args.state_dtype is not None:
+        engine_kwargs["state_dtype"] = args.state_dtype
     engine = RevenueEngine(wtp_from_ratings(dataset, conversion=args.conversion),
-                           theta=args.theta)
+                           theta=args.theta, n_workers=args.n_workers,
+                           **engine_kwargs)
     kwargs = {}
     if args.k is not None and args.algorithm not in ("components",):
         kwargs["k"] = args.k

@@ -9,10 +9,12 @@ the paper's Figure 6), and wall-clock timing.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.configuration import MixedConfiguration, PureConfiguration
 from repro.core.evaluation import evaluate, revenue_gain
+from repro.core.kernels import check_n_workers
 from repro.core.revenue import RevenueEngine
 from repro.errors import ValidationError
 from repro.utils.timer import Timer
@@ -35,6 +37,13 @@ def check_max_size(k: int | None) -> int | None:
     if not isinstance(k, int) or isinstance(k, bool) or k < 1:
         raise ValidationError(f"k must be a positive int or None, got {k!r}")
     return k
+
+
+def check_workers_option(n_workers: int | None) -> int | None:
+    """Validate an algorithm-level worker override; ``None`` defers to the engine."""
+    if n_workers is None:
+        return None
+    return check_n_workers(n_workers)
 
 
 @dataclass(frozen=True)
@@ -82,10 +91,25 @@ class BundlingAlgorithm(ABC):
 
     name: str = "abstract"
     strategy: str = PURE
+    #: Optional per-run worker override (``None`` = use the engine's setting).
+    n_workers: int | None = None
 
     @abstractmethod
     def fit(self, engine: RevenueEngine) -> BundlingResult:
         """Run the algorithm against *engine* and return the result."""
+
+    @contextmanager
+    def _engine_workers(self, engine: RevenueEngine):
+        """Apply this algorithm's ``n_workers`` override to *engine* for one run."""
+        if self.n_workers is None:
+            yield
+            return
+        previous = engine.n_workers
+        engine.n_workers = self.n_workers
+        try:
+            yield
+        finally:
+            engine.n_workers = previous
 
     def _finalize(
         self,

@@ -26,6 +26,7 @@ from repro.algorithms.base import (
     IterationRecord,
     check_max_size,
     check_strategy,
+    check_workers_option,
 )
 from repro.core.configuration import MixedConfiguration, PureConfiguration
 from repro.core.pricing import PricedBundle
@@ -41,14 +42,16 @@ class GreedyMerge(BundlingAlgorithm):
         strategy: str = PURE,
         k: int | None = None,
         co_support_pruning: bool = True,
+        n_workers: int | None = None,
     ) -> None:
         self.strategy = check_strategy(strategy)
         self.k = check_max_size(k)
         self.co_support_pruning = co_support_pruning
+        self.n_workers = check_workers_option(n_workers)
         self.name = f"{self.strategy}_greedy"
 
     def fit(self, engine: RevenueEngine) -> BundlingResult:
-        with Timer() as timer:
+        with Timer() as timer, self._engine_workers(engine):
             singles = engine.price_components()
             live: dict[int, PricedBundle] = dict(enumerate(singles))
             mixed = self.strategy != PURE

@@ -28,6 +28,7 @@ from repro.algorithms.base import (
     IterationRecord,
     check_max_size,
     check_strategy,
+    check_workers_option,
 )
 from repro.core.configuration import MixedConfiguration, PureConfiguration
 from repro.core.pricing import PricedBundle
@@ -51,6 +52,9 @@ class IterativeMatching(BundlingAlgorithm):
         The two pruning rules; on by default, switchable for ablations.
     max_iterations:
         Optional hard iteration cap (useful for revenue-vs-time traces).
+    n_workers:
+        Worker threads for the streaming pair scans (overrides the
+        engine's setting for this run; ``None`` defers to the engine).
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class IterativeMatching(BundlingAlgorithm):
         co_support_pruning: bool = True,
         new_vertex_pruning: bool = True,
         max_iterations: int | None = None,
+        n_workers: int | None = None,
     ) -> None:
         self.strategy = check_strategy(strategy)
         self.k = check_max_size(k)
@@ -68,10 +73,11 @@ class IterativeMatching(BundlingAlgorithm):
         self.co_support_pruning = co_support_pruning
         self.new_vertex_pruning = new_vertex_pruning
         self.max_iterations = max_iterations
+        self.n_workers = check_workers_option(n_workers)
         self.name = f"{self.strategy}_matching"
 
     def fit(self, engine: RevenueEngine) -> BundlingResult:
-        with Timer() as timer:
+        with Timer() as timer, self._engine_workers(engine):
             current: list[PricedBundle] = list(engine.price_components())
             is_new = [True] * len(current)
             mixed = self.strategy != PURE

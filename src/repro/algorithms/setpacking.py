@@ -57,7 +57,7 @@ def enumerate_bundle_revenues(
             f"subset enumeration supports at most {MAX_ENUM_ITEMS} items, got {n}"
         )
     size = 1 << n
-    values = engine.wtp.values  # (M, N)
+    wtp = engine.wtp
     revenues = np.full(size, -np.inf)
     prices = np.zeros(size)
     buyers = np.zeros(size)
@@ -76,7 +76,15 @@ def enumerate_bundle_revenues(
             block = block[popcounts[start:stop] <= max_size]
             if block.size == 0:
                 continue
-        columns = values @ bits[block].T  # (M, B) raw bundle WTP
+        # Raw bundle WTP assembled from column-streamed item blocks: each
+        # (M, items-chunk) @ (items-chunk, B) partial matmul accumulates
+        # into the candidate columns, so the dense matrix is never
+        # materialized (one item block covers all N under the default
+        # budget, making the accumulation a single matmul as before).
+        block_bits = bits[block]  # (B, N)
+        columns = np.zeros((wtp.n_users, block.size))
+        for c_start, c_stop, vals in wtp.iter_columns(engine.chunk_elements):
+            columns += np.asarray(vals, dtype=np.float64) @ block_bits[:, c_start:c_stop].T
         scale = np.where(popcounts[block] >= 2, 1.0 + engine.theta, 1.0)
         columns *= scale[None, :]
         p, r, b = price_pure_batch(columns, engine.adoption, engine.grid)

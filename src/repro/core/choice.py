@@ -112,15 +112,42 @@ def build_forest(offers: list[PricedBundle]) -> list[OfferNode]:
 # ------------------------------------------------------------ subtree state
 @dataclass(frozen=True)
 class SubtreeState:
-    """Per-consumer choice state of one offer subtree (see module docs)."""
+    """Per-consumer choice state of one offer subtree (see module docs).
+
+    Mixed-strategy search keeps one state (two O(M) arrays) per live offer,
+    which at a million users dominates the scan's working set.  States may
+    therefore be stored in ``float32`` (:meth:`astype`; the engine's
+    ``state_dtype`` option) — the streaming kernels widen them back to
+    float64 on the fly when filling score/pay columns, so only the resident
+    arrays shrink.
+    """
 
     score: np.ndarray
     pay: np.ndarray
 
     def __add__(self, other: "SubtreeState") -> "SubtreeState":
         # Sibling subtrees are independent: surpluses add (deterministic)
-        # and log partition functions add (stochastic).
-        return SubtreeState(self.score + other.score, self.pay + other.pay)
+        # and log partition functions add (stochastic).  Sums are forced to
+        # the float64 loop so float32-stored states are widened *before*
+        # the addition — the same rule as the streaming fill path — and a
+        # merge selected by the scan is applied on bit-identical base
+        # arrays.  (A no-op for the default float64 states.)
+        return SubtreeState(
+            np.add(self.score, other.score, dtype=np.float64),
+            np.add(self.pay, other.pay, dtype=np.float64),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the two per-consumer arrays."""
+        return int(self.score.nbytes + self.pay.nbytes)
+
+    def astype(self, dtype) -> "SubtreeState":
+        """This state with both arrays in *dtype* (``self`` when already so)."""
+        dtype = np.dtype(dtype)
+        if self.score.dtype == dtype and self.pay.dtype == dtype:
+            return self
+        return SubtreeState(self.score.astype(dtype), self.pay.astype(dtype))
 
 
 def singleton_state(wtp: np.ndarray, price: float, adoption: AdoptionModel) -> SubtreeState:

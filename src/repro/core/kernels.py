@@ -16,25 +16,40 @@ Peak working memory of a streamed scan is a small constant multiple of
 ``8 · chunk_elements`` bytes (the fill buffer plus the pricing kernel's own
 per-chunk temporaries), independent of how many candidates are scanned.
 
+Parallel execution
+------------------
+The chunk loop is embarrassingly parallel: chunks touch disjoint output
+slices and numpy releases the GIL inside the pricing kernels.  With
+``n_workers > 1`` the chunks fan out over a ``ThreadPoolExecutor``; every
+worker owns a private fill buffer and processes a strided subset of the
+*same* chunk schedule the serial scan would use, so results stay
+bit-identical to the serial scan for any worker count — only wall clock
+and peak memory (one buffer set per worker) change.  Fill callbacks run
+concurrently and must therefore be thread-safe; the engine's raw-WTP cache
+(:class:`LRUArrayCache`) takes a lock around its bookkeeping for exactly
+this reason.
+
 Also here: the LRU cache that keeps :class:`~repro.core.revenue.RevenueEngine`'s
 per-bundle raw-WTP vectors memory-flat over long greedy runs.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.adoption import AdoptionModel
-from repro.core.pricing import PriceGrid, price_mixed_bundle_batch, price_pure_batch
+from repro.core.pricing import (
+    DEFAULT_CHUNK_ELEMENTS,
+    PriceGrid,
+    price_mixed_bundle_batch,
+    price_pure_batch,
+)
 from repro.errors import ValidationError
-
-#: Default per-buffer element budget (~32 MB of float64 per buffer).  The
-#: same default the mixed batch kernel has always used for its internal
-#: (levels × users × pairs) chunking.
-DEFAULT_CHUNK_ELEMENTS = 4_000_000
 
 
 def check_chunk_elements(chunk_elements: int | None) -> int | None:
@@ -52,6 +67,50 @@ def check_chunk_elements(chunk_elements: int | None) -> int | None:
             f"chunk_elements must be a positive int or None, got {chunk_elements!r}"
         )
     return int(chunk_elements)
+
+
+def check_n_workers(n_workers: int) -> int:
+    """Validate a worker count (a positive int; 1 means serial execution)."""
+    if not isinstance(n_workers, (int, np.integer)) or isinstance(n_workers, bool):
+        raise ValidationError(
+            f"n_workers must be a positive int, got {n_workers!r}"
+        )
+    if n_workers < 1:
+        raise ValidationError(
+            f"n_workers must be a positive int, got {n_workers!r}"
+        )
+    return int(n_workers)
+
+
+def run_chunks(
+    chunks: Sequence[tuple[int, int]],
+    make_buffers: Callable[[], tuple],
+    process: Callable[[tuple, int, int], None],
+    n_workers: int,
+) -> None:
+    """Execute ``process(buffers, start, stop)`` over every chunk.
+
+    Serial when ``n_workers == 1`` (or there is a single chunk); otherwise
+    each worker allocates its own buffer set via ``make_buffers`` and walks
+    a strided subset of the chunk schedule.  The schedule itself never
+    depends on ``n_workers``, and chunks write disjoint output slices, so
+    parallel results are bit-identical to serial ones.
+    """
+    n_workers = min(check_n_workers(n_workers), len(chunks))
+    if n_workers <= 1:
+        buffers = make_buffers()
+        for start, stop in chunks:
+            process(buffers, start, stop)
+        return
+
+    def worker(index: int) -> None:
+        buffers = make_buffers()
+        for start, stop in chunks[index::n_workers]:
+            process(buffers, start, stop)
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        # list() drains the iterator so worker exceptions propagate here.
+        list(pool.map(worker, range(n_workers)))
 
 
 def chunk_width(n_columns: int, n_users: int, chunk_elements: int | None) -> int:
@@ -75,16 +134,20 @@ def stream_pure_prices(
     adoption: AdoptionModel,
     grid: PriceGrid,
     chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
+    n_workers: int = 1,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Streamed :func:`~repro.core.pricing.price_pure_batch` over *n_columns*.
 
     ``fill(block, start, stop)`` must write the per-user WTP columns for
     candidates ``[start, stop)`` into ``block`` (shape ``(n_users,
-    stop-start)``, float64).  The buffer is reused across chunks, so
-    ``fill`` must overwrite every entry it is handed.
+    stop-start)``, float64).  Buffers are reused across chunks, so ``fill``
+    must overwrite every entry it is handed; with ``n_workers > 1`` chunks
+    run concurrently (one private buffer per worker), so ``fill`` must also
+    be thread-safe.
 
     Returns ``(prices, revenues, buyers)`` of length ``n_columns`` —
-    bit-identical to pricing one giant stacked array, at bounded memory.
+    bit-identical to pricing one giant stacked array, at bounded memory,
+    for any chunk budget and worker count.
     """
     prices = np.zeros(n_columns)
     revenues = np.zeros(n_columns)
@@ -92,8 +155,12 @@ def stream_pure_prices(
     if n_columns == 0:
         return prices, revenues, buyers
     width = chunk_width(n_columns, n_users, chunk_elements)
-    buffer = np.empty((n_users, width), dtype=np.float64)
-    for start, stop in iter_chunks(n_columns, width):
+
+    def make_buffers() -> tuple:
+        return (np.empty((n_users, width), dtype=np.float64),)
+
+    def process(buffers: tuple, start: int, stop: int) -> None:
+        (buffer,) = buffers
         block = buffer[:, : stop - start]
         fill(block, start, stop)
         p, r, b = price_pure_batch(
@@ -102,6 +169,8 @@ def stream_pure_prices(
         prices[start:stop] = p
         revenues[start:stop] = r
         buyers[start:stop] = b
+
+    run_chunks(list(iter_chunks(n_columns, width)), make_buffers, process, n_workers)
     return prices, revenues, buyers
 
 
@@ -113,14 +182,18 @@ def stream_mixed_merges(
     adoption: AdoptionModel,
     grid: PriceGrid,
     chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
+    n_workers: int = 1,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Streamed :func:`~repro.core.pricing.price_mixed_bundle_batch`.
 
     ``fill_pair(k, wtp_col, score_col, pay_col)`` must write candidate
     ``k``'s bundle-WTP column and base choice-state columns (each of length
     ``n_users``) and return its Guiltinan interval ``(floor, ceiling)``.
-    Only one chunk of pair columns is ever alive, so scanning all ~N²/2
-    candidate merges needs O(chunk) rather than O(M·N²) memory.
+    Only one chunk of pair columns is ever alive per worker, so scanning
+    all ~N²/2 candidate merges needs O(chunk · n_workers) rather than
+    O(M·N²) memory.  ``chunk_elements=None`` disables chunking entirely —
+    the same convention as the pure path.  ``fill_pair`` must be
+    thread-safe when ``n_workers > 1``.
 
     Returns ``(prices, gains, upgraded, feasible)`` of length ``n_pairs``.
     """
@@ -131,12 +204,18 @@ def stream_mixed_merges(
     if n_pairs == 0:
         return prices, gains, upgraded, feasible
     width = chunk_width(n_pairs, n_users, chunk_elements)
-    wtp_buf = np.empty((n_users, width), dtype=np.float64)
-    score_buf = np.empty((n_users, width), dtype=np.float64)
-    pay_buf = np.empty((n_users, width), dtype=np.float64)
-    floors = np.empty(width, dtype=np.float64)
-    ceilings = np.empty(width, dtype=np.float64)
-    for start, stop in iter_chunks(n_pairs, width):
+
+    def make_buffers() -> tuple:
+        return (
+            np.empty((n_users, width), dtype=np.float64),
+            np.empty((n_users, width), dtype=np.float64),
+            np.empty((n_users, width), dtype=np.float64),
+            np.empty(width, dtype=np.float64),
+            np.empty(width, dtype=np.float64),
+        )
+
+    def process(buffers: tuple, start: int, stop: int) -> None:
+        wtp_buf, score_buf, pay_buf, floors, ceilings = buffers
         count = stop - start
         for offset in range(count):
             floor, ceiling = fill_pair(
@@ -155,14 +234,14 @@ def stream_mixed_merges(
             ceilings[:count],
             adoption,
             grid,
-            chunk_elements=(
-                chunk_elements if chunk_elements is not None else DEFAULT_CHUNK_ELEMENTS
-            ),
+            chunk_elements=chunk_elements,
         )
         prices[start:stop] = p
         gains[start:stop] = g
         upgraded[start:stop] = u
         feasible[start:stop] = f
+
+    run_chunks(list(iter_chunks(n_pairs, width)), make_buffers, process, n_workers)
     return prices, gains, upgraded, feasible
 
 
@@ -176,6 +255,12 @@ class LRUArrayCache:
     through this bounded store: hot parents (the live bundles the scans
     derive candidates from) stay resident, cold entries are evicted and
     recomputed on demand.
+
+    All operations take an internal lock: the parallel streaming kernels
+    call the engine's fill callbacks — and therefore this cache — from
+    worker threads, and ``OrderedDict`` bookkeeping (``move_to_end`` plus
+    eviction) is not atomic.  Contention is negligible next to the numpy
+    work per chunk.
     """
 
     def __init__(self, max_entries: int) -> None:
@@ -185,42 +270,49 @@ class LRUArrayCache:
             )
         self.max_entries = int(max_entries)
         self._store: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key):
         """The cached array for *key*, refreshed as most-recently-used."""
-        value = self._store.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._store.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key, value) -> None:
         """Insert (or refresh) *key*, evicting the LRU entry when full."""
-        if key in self._store:
-            self._store.move_to_end(key)
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self._store[key] = value
+                return
+            if len(self._store) >= self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
             self._store[key] = value
-            return
-        if len(self._store) >= self.max_entries:
-            self._store.popitem(last=False)
-            self.evictions += 1
-        self._store[key] = value
 
     def pop(self, key, default=None):
-        return self._store.pop(key, default)
+        with self._lock:
+            return self._store.pop(key, default)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     def __contains__(self, key) -> bool:
-        return key in self._store
+        with self._lock:
+            return key in self._store
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __repr__(self) -> str:
         return (

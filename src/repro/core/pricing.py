@@ -33,6 +33,13 @@ from repro.utils.validation import check_positive_int
 #: Paper default (Section 4.2): "For experiments, we use 100 buckets".
 DEFAULT_PRICE_LEVELS = 100
 
+#: Default element budget for chunked buffers (~32 MB of float64 each):
+#: the batch kernels' (levels × users × columns) temporaries here, and the
+#: streaming fill buffers of :mod:`repro.core.kernels` (which re-exports
+#: this).  Callers that never think about chunking stay memory-bounded;
+#: passing ``None`` explicitly disables chunking everywhere.
+DEFAULT_CHUNK_ELEMENTS = 4_000_000
+
 #: Relative tolerance for "willingness to pay >= price level" comparisons.
 #: Ratings-derived WTP values coincide exactly with grid levels (e.g. the
 #: rating-4 class sits at level 80 of 100), and linspace arithmetic is off
@@ -140,6 +147,35 @@ class MixedMerge:
     feasible: bool
 
 
+# ------------------------------------------------------- deterministic sums
+def tree_sum(values: np.ndarray, axis: int) -> np.ndarray:
+    """Sum along *axis* with a fixed halving tree (float64 accumulation).
+
+    numpy's built-in pairwise summation blocks along the innermost memory
+    loop, so the accumulation order of ``array.sum(axis=...)`` — and hence
+    the last-ulp result — can change with the shape of the *other* axes.
+    The streaming kernels price candidates in chunks whose width depends on
+    the ``chunk_elements`` budget, which would make the float-accumulation
+    paths (sigmoid adoption, explicit grids) chunk-variant to ulps.
+
+    This reduction instead folds the upper half of the axis onto the lower
+    half until one slice remains: the tree's shape depends only on the axis
+    *length* (the number of users — never chunked), so results are
+    bit-identical for every chunk width and worker count.  Cost is one
+    float64 copy of the block plus the same number of additions as a plain
+    sum.
+    """
+    work = np.array(np.moveaxis(values, axis, 0), dtype=np.float64, copy=True)
+    if work.shape[0] == 0:
+        return np.zeros(work.shape[1:], dtype=np.float64)
+    n = work.shape[0]
+    while n > 1:
+        half = (n + 1) // 2
+        work[: n - half] += work[half:n]
+        n = half
+    return work[0]
+
+
 # --------------------------------------------------------------------- pure
 def _expected_buyers(effective: np.ndarray, levels: np.ndarray, adoption: AdoptionModel) -> np.ndarray:
     """Expected adopter counts at each level, for one bundle.
@@ -195,7 +231,7 @@ def price_pure_batch(
     wtp_columns: np.ndarray,
     adoption: AdoptionModel | None = None,
     grid: PriceGrid | None = None,
-    chunk_elements: int | None = None,
+    chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized :func:`price_pure` over the columns of an ``(M, B)`` array.
 
@@ -211,7 +247,11 @@ def price_pure_batch(
     (Section 4.2): users are bucketed by effective WTP, and because bucket
     centres and price levels share one linear grid, only ``2T−1`` sigmoid
     evaluations are needed per column.  ``chunk_elements`` bounds the
-    explicit-grid and sigmoid paths' (levels × users × columns) temporaries.
+    explicit-grid and sigmoid paths' (levels × users × columns) temporaries
+    (bounded at the 4M-element default for callers that never think about
+    chunking; ``None`` disables the bound).  Those paths reduce per-user
+    values through :func:`tree_sum`, so the budget never changes a bit of
+    the result.
     """
     adoption = adoption or StepAdoption()
     grid = grid or PriceGrid()
@@ -264,11 +304,7 @@ def price_pure_batch(
         gamma = getattr(adoption, "gamma", 1.0)
         levels = step[None, :] * np.arange(1, n_levels + 1)[:, None]
         buyers_levels = _sigmoid_buyers_exact(
-            columns[:, live],
-            eff_live,
-            levels,
-            gamma,
-            chunk_elements=chunk_elements if chunk_elements is not None else 4_000_000,
+            columns[:, live], eff_live, levels, gamma, chunk_elements=chunk_elements
         )
         revenue_levels = levels * buyers_levels
 
@@ -290,22 +326,26 @@ def _sigmoid_buyers_exact(
     effective: np.ndarray,
     levels: np.ndarray,
     gamma: float,
-    chunk_elements: int = 4_000_000,
+    chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
 ) -> np.ndarray:
     """Exact expected buyers per level: Σ_u σ(γ(effective_u − p_t)).
 
-    Computed per (level, user, column) in memory-bounded chunks.  Consumers
-    with zero willingness to pay never adopt (see the adoption module);
-    a consumer-bucketing approximation (the paper's own device) was tried
+    Computed per (level, user, column) in memory-bounded chunks
+    (``chunk_elements=None`` disables chunking).  Consumers with zero
+    willingness to pay never adopt (see the adoption module); a
+    consumer-bucketing approximation (the paper's own device) was tried
     here but misplaces the rating classes that sit exactly on grid levels,
     so the exact scan is used — it is the hot path only for the stochastic
-    sweep experiments, which run at reduced scale.
+    sweep experiments, which run at reduced scale.  The per-user reduction
+    goes through :func:`tree_sum`, so results are bit-identical for every
+    chunk width.
     """
     n_users, n_cols = effective.shape
     n_levels = levels.shape[0]
     buyers = np.empty((n_levels, n_cols), dtype=np.float64)
     in_market = wtp_columns > 0
-    chunk = max(1, chunk_elements // max(1, n_users * n_levels))
+    budget = chunk_elements if chunk_elements is not None else n_users * n_levels * n_cols
+    chunk = max(1, budget // max(1, n_users * n_levels))
     for start in range(0, n_cols, chunk):
         stop = min(start + chunk, n_cols)
         z = np.clip(
@@ -315,7 +355,7 @@ def _sigmoid_buyers_exact(
         )
         probs = 1.0 / (1.0 + np.exp(-z))
         probs *= in_market[None, :, start:stop]
-        buyers[:, start:stop] = probs.sum(axis=1)
+        buyers[:, start:stop] = tree_sum(probs, axis=1)
     return buyers
 
 
@@ -354,13 +394,14 @@ def _price_explicit_batch(
         eff = effective[:, start:stop]
         market = in_market[:, start:stop]
         if deterministic:
+            # Integer adopter counts: exact under any chunking.
             adopter = (eff[None, :, :] >= compare[:, None, None]) & market[None, :, :]
             buyers_levels = adopter.sum(axis=1).astype(np.float64)  # (T, c)
         else:
             z = np.clip(gamma * (eff[None, :, :] - levels[:, None, None]), -500.0, 500.0)
             probs = 1.0 / (1.0 + np.exp(-z))
             probs *= market[None, :, :]
-            buyers_levels = probs.sum(axis=1)
+            buyers_levels = tree_sum(probs, axis=1)
         revenue_levels = levels[:, None] * buyers_levels
         best = np.argmax(revenue_levels, axis=0)  # first (lowest) level on ties
         span = np.arange(stop - start)
@@ -472,7 +513,7 @@ def price_mixed_bundle_batch(
     ceilings: np.ndarray,
     adoption: AdoptionModel | None = None,
     grid: PriceGrid | None = None,
-    chunk_elements: int = 4_000_000,
+    chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized :func:`price_mixed_bundle` across ``P`` candidate merges.
 
@@ -480,6 +521,9 @@ def price_mixed_bundle_batch(
     and ``ceilings`` are ``(P,)``.  Returns ``(prices, gains, upgraded,
     feasible)``.  Requires a linspace grid (the algorithms' hot path); grid
     levels outside a pair's Guiltinan interval are masked out.
+    ``chunk_elements`` bounds the (levels × users × pairs) temporaries;
+    ``None`` disables chunking — the same convention as
+    :func:`price_pure_batch`.
     """
     adoption = adoption or StepAdoption()
     grid = grid or PriceGrid()
@@ -503,20 +547,46 @@ def price_mixed_bundle_batch(
     gamma = 1.0 if adoption.is_deterministic else getattr(adoption, "gamma", 1.0)
     deterministic = adoption.is_deterministic
 
-    chunk = max(1, chunk_elements // max(1, n_users * n_levels))
+    budget = chunk_elements if chunk_elements is not None else n_users * n_levels * n_pairs
+    chunk = max(1, budget // max(1, n_users * n_levels))
     level_ranks = np.arange(1, n_levels + 1, dtype=np.float64)
     for start in range(0, n_pairs, chunk):
         stop = min(start + chunk, n_pairs)
         width = stop - start
         tops_c = tops[start:stop]
-        levels = level_ranks[:, None] * (tops_c[None, :] / n_levels)  # (T, c)
-        valid = (levels > floors[None, start:stop]) & (levels < ceilings[None, start:stop])
+        all_levels = level_ranks[:, None] * (tops_c[None, :] / n_levels)  # (T, c)
+        valid = (all_levels > floors[None, start:stop]) & (
+            all_levels < ceilings[None, start:stop]
+        )
         valid &= tops_c[None, :] > 0
-        utility = gamma * (effective[None, :, start:stop] - levels[:, None, :])  # (T, M, c)
+        has_level = valid.any(axis=0)
+        feasible[start:stop] = has_level
+        if not np.any(has_level):
+            continue
+        # Only the contiguous band of levels that intersects some pair's
+        # Guiltinan interval is ever selected (everything else is masked to
+        # -inf below), so the O(T·M·c) work is restricted to that band.
+        # Level rows are computed independently — each (level, pair) gain
+        # reduces over the same per-user values in the same order — so the
+        # surviving results are bit-identical to the full-grid scan.
+        band_rows = np.flatnonzero(valid.any(axis=1))
+        lo, hi = int(band_rows[0]), int(band_rows[-1]) + 1
+        levels = all_levels[lo:hi]  # (T', c)
+        utility = effective[None, :, start:stop] - levels[:, None, :]  # (T', M, c)
+        if gamma != 1.0:
+            utility *= gamma
         in_market = (w_b[:, start:stop] > 0)[None, :, :]
+        delta = levels[:, None, :] - base_pays[None, :, start:stop]
         if deterministic:
             tol = LEVEL_RTOL * (1.0 + np.abs(levels))[:, None, :]
             take = (utility >= base_scores[None, :, start:stop] - tol) & in_market
+            # Gains accumulate per-user payments sequentially (the non-inner
+            # reduction axis), so this path is chunk-invariant for widths
+            # ≥ 2; upgraded counts are integer-exact.  Kept on the plain sum
+            # to preserve bit-identity with the seed snapshot.
+            np.multiply(take, delta, out=delta)
+            gain_band = delta.sum(axis=1)
+            upg_band = take.sum(axis=1).astype(np.float64)
         else:
             take = 1.0 / (
                 1.0
@@ -525,15 +595,19 @@ def price_mixed_bundle_batch(
                 )
             )
             take = take * in_market
-        delta = levels[:, None, :] - base_pays[None, :, start:stop]
-        gain_levels = (take * delta).sum(axis=1)
-        upg_levels = take.sum(axis=1).astype(np.float64)
+            # Probability sums are float accumulations: fixed-tree reduction
+            # keeps the sigmoid path bit-stable under any chunk width.
+            np.multiply(take, delta, out=delta)
+            gain_band = tree_sum(delta, axis=1)
+            upg_band = tree_sum(take, axis=1)
+        gain_levels = np.full((n_levels, width), -np.inf)
+        gain_levels[lo:hi] = gain_band
+        upg_levels = np.zeros((n_levels, width))
+        upg_levels[lo:hi] = upg_band
         gain_levels = np.where(valid, gain_levels, -np.inf)
         best = np.argmax(gain_levels, axis=0)
         span = np.arange(width)
-        has_level = valid.any(axis=0)
-        feasible[start:stop] = has_level
-        prices[start:stop] = np.where(has_level, levels[best, span], 0.0)
+        prices[start:stop] = np.where(has_level, all_levels[best, span], 0.0)
         gains[start:stop] = np.where(has_level, gain_levels[best, span], -np.inf)
         upgraded[start:stop] = np.where(has_level, upg_levels[best, span], 0.0)
     return prices, gains, upgraded, feasible

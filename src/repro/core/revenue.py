@@ -41,6 +41,7 @@ from repro.core.kernels import (
     DEFAULT_CHUNK_ELEMENTS,
     LRUArrayCache,
     check_chunk_elements,
+    check_n_workers,
     stream_mixed_merges,
     stream_pure_prices,
 )
@@ -56,7 +57,7 @@ from repro.core.support import (
     item_support_bits,
 )
 from repro.core.bundle import Bundle
-from repro.core.wtp import WTPMatrix
+from repro.core.wtp import WTPMatrix, _resolve_dtype
 from repro.errors import ValidationError
 from repro.utils.validation import check_fraction
 
@@ -141,6 +142,17 @@ class RevenueEngine:
         Capacity of the LRU cache of per-bundle raw-WTP vectors (each O(M)).
         Default ``max(2·n_items, 128)`` — enough for every singleton plus a
         full set of live bundles, keeping long runs memory-flat.
+    n_workers:
+        Worker threads for the streaming pair scans (default 1, serial).
+        Chunks fan out over a thread pool with one private fill buffer per
+        worker; numpy releases the GIL inside the pricing kernels, so on
+        multi-core hardware the scans scale with cores while results stay
+        bit-identical to the serial scan.
+    state_dtype:
+        Storage dtype for mixed-strategy subtree states (``"float64"``
+        default, or ``"float32"`` to halve the O(N·M) resident state so
+        mixed runs fit at 1M+ users; kernels widen on the fly, so pricing
+        differs only by float32 rounding of the base choice state).
     """
 
     def __init__(
@@ -154,6 +166,8 @@ class RevenueEngine:
         precision: str | None = None,
         storage: str | None = None,
         raw_cache_entries: int | None = None,
+        n_workers: int = 1,
+        state_dtype: str | None = None,
     ) -> None:
         if not isinstance(wtp, WTPMatrix):
             wtp = WTPMatrix(wtp)
@@ -167,6 +181,8 @@ class RevenueEngine:
         self.grid = grid or PriceGrid()
         self.objective = objective
         self.chunk_elements = check_chunk_elements(chunk_elements)
+        self.n_workers = check_n_workers(n_workers)
+        self.state_dtype = np.dtype(_resolve_dtype(state_dtype))
         self.stats = EngineStats()
         self._price_cache: dict[Bundle, PricedBundle] = {}
         if raw_cache_entries is None:
@@ -236,7 +252,13 @@ class RevenueEngine:
     def _price_streamed(self, missing: Sequence[Bundle], fill) -> None:
         """Price *missing* bundles through the streaming kernel and cache them."""
         prices, revenues, buyers = stream_pure_prices(
-            fill, len(missing), self.n_users, self.adoption, self.grid, self.chunk_elements
+            fill,
+            len(missing),
+            self.n_users,
+            self.adoption,
+            self.grid,
+            self.chunk_elements,
+            n_workers=self.n_workers,
         )
         self.stats.pure_pricings += len(missing)
         self.stats.batch_calls += 1
@@ -319,10 +341,14 @@ class RevenueEngine:
 
     # --------------------------------------------------------- mixed pricing
     def offer_state(self, offer: PricedBundle) -> "SubtreeState":
-        """Per-consumer choice state of a standalone offer (no sub-offers)."""
+        """Per-consumer choice state of a standalone offer (no sub-offers).
+
+        Stored in ``state_dtype`` (the computation itself runs in float64).
+        """
         from repro.core.choice import singleton_state
 
-        return singleton_state(self.bundle_wtp(offer.bundle), offer.price, self.adoption)
+        state = singleton_state(self.bundle_wtp(offer.bundle), offer.price, self.adoption)
+        return state.astype(self.state_dtype)
 
     def mixed_merge_gains(
         self,
@@ -377,12 +403,21 @@ class RevenueEngine:
             scale = self._scale(merged_bundles[k].size)
             if scale != 1.0:
                 wtp_col *= scale
-            np.add(states[i].score, states[j].score, out=score_col)
-            np.add(states[i].pay, states[j].pay, out=pay_col)
+            # dtype= forces the float64 loop, so float32-stored states are
+            # widened *before* the addition (np.add would otherwise sum in
+            # float32 and only cast the result).
+            np.add(states[i].score, states[j].score, out=score_col, dtype=np.float64)
+            np.add(states[i].pay, states[j].pay, out=pay_col, dtype=np.float64)
             return max(first.price, second.price), first.price + second.price
 
         prices, gains, upgraded, feasible = stream_mixed_merges(
-            fill_pair, len(pairs), self.n_users, self.adoption, self.grid, self.chunk_elements
+            fill_pair,
+            len(pairs),
+            self.n_users,
+            self.adoption,
+            self.grid,
+            self.chunk_elements,
+            n_workers=self.n_workers,
         )
         return [
             MixedMerge(
@@ -422,7 +457,9 @@ class RevenueEngine:
         from repro.core.choice import merged_state
 
         utility = self.adoption.utility(self.bundle_wtp(merge.bundle), merge.price)
-        return merged_state(base, utility, merge.price, self.adoption)
+        return merged_state(base, utility, merge.price, self.adoption).astype(
+            self.state_dtype
+        )
 
     def mixed_bundle_gain(self, bundle: Bundle, components: Sequence[PricedBundle]) -> MixedMerge:
         """Mixed pricing of *bundle* offered alongside arbitrary components.

@@ -39,11 +39,13 @@ backend — bit-identical to ``values[:, items].sum(axis=1)``.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.bundle import Bundle
+from repro.core.kernels import check_chunk_elements, chunk_width, iter_chunks
 from repro.errors import ValidationError
 
 DENSE = "dense"
@@ -262,6 +264,32 @@ class WTPMatrix:
             return dense
         return self._values[:, item]
 
+    def iter_columns(
+        self, chunk_elements: int | None = None
+    ) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, block)`` dense column blocks under a budget.
+
+        ``block`` holds the item columns ``[start, stop)`` as a read-only
+        dense ``(n_users, stop-start)`` array in the storage dtype: a
+        zero-copy view for dense storage, a chunk-materialized array for
+        sparse storage.  At most ``chunk_elements`` dense values are alive
+        per block, so consumers that scan the whole matrix — transaction
+        building, subset enumeration, list-price baselines — never
+        materialize the full M×N array.  ``chunk_elements=None`` yields one
+        all-columns block (the streaming kernels' convention for
+        "unchunked").
+        """
+        width = chunk_width(
+            self.n_items, self.n_users, check_chunk_elements(chunk_elements)
+        )
+        for start, stop in iter_chunks(self.n_items, width):
+            if self._csc is not None:
+                block = self._csc[:, start:stop].toarray()
+                block.setflags(write=False)
+            else:
+                block = self._values[:, start:stop]
+            yield start, stop, block
+
     # --------------------------------------------------------- kernel contract
     def raw_sum(self, items: Sequence[int]) -> np.ndarray:
         """Per-user WTP summed over *items*, as float64.
@@ -305,6 +333,46 @@ class WTPMatrix:
     def support(self, bundle: Bundle) -> np.ndarray:
         """Boolean mask of users with positive WTP for any item of *bundle*."""
         return self.support_mask(bundle.items)
+
+    # ------------------------------------------------------------ persistence
+    def save_npz(self, path) -> None:
+        """Persist to a compressed ``.npz`` in storage-native form.
+
+        Dense storage writes the value array (the historical ``values``
+        layout, still loadable by older readers); sparse storage writes its
+        CSC triplet — the matrix is never densified to serialize it.
+        """
+        payload: dict[str, np.ndarray] = {}
+        if self._item_labels is not None:
+            payload["labels"] = np.array(self._item_labels)
+        if self._csc is not None:
+            payload["shape"] = np.array(self._csc.shape, dtype=np.int64)
+            payload["data"] = self._csc.data
+            payload["indices"] = self._csc.indices
+            payload["indptr"] = self._csc.indptr
+        else:
+            payload["values"] = self._values
+        np.savez_compressed(Path(path), **payload)
+
+    @classmethod
+    def load_npz(cls, path) -> "WTPMatrix":
+        """Inverse of :meth:`save_npz` (reads both layouts).
+
+        The stored payload's dtype is preserved, so a float32 matrix
+        round-trips as float32 instead of silently widening to the
+        constructor's float64 default.
+        """
+        with np.load(Path(path), allow_pickle=False) as archive:
+            labels = archive["labels"].tolist() if "labels" in archive.files else None
+            if "values" in archive.files:
+                values = archive["values"]
+                return cls(values, item_labels=labels, dtype=values.dtype)
+            sp = _scipy_sparse()
+            matrix = sp.csc_array(
+                (archive["data"], archive["indices"], archive["indptr"]),
+                shape=tuple(archive["shape"]),
+            )
+            return cls(matrix, item_labels=labels, dtype=matrix.dtype)
 
     # ----------------------------------------------------------- derivations
     def with_backend(self, storage: str | None = None, dtype=None) -> "WTPMatrix":

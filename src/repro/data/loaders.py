@@ -66,17 +66,15 @@ def load_ratings_csv(ratings_path, prices_path, rating_max: int = 5) -> RatingsD
 
 
 def save_wtp_npz(wtp: WTPMatrix, path) -> None:
-    """Persist a WTP matrix (and labels, if any) to a compressed ``.npz``."""
-    labels = wtp.item_labels
-    if labels is None:
-        np.savez_compressed(Path(path), values=wtp.values)
-    else:
-        np.savez_compressed(Path(path), values=wtp.values, labels=np.array(labels))
+    """Persist a WTP matrix (and labels, if any) to a compressed ``.npz``.
+
+    Delegates to :meth:`WTPMatrix.save_npz`: dense storage keeps the
+    historical ``values`` layout, sparse storage round-trips its CSC
+    triplet without ever densifying.
+    """
+    wtp.save_npz(path)
 
 
 def load_wtp_npz(path) -> WTPMatrix:
     """Inverse of :func:`save_wtp_npz`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        values = archive["values"]
-        labels = archive["labels"].tolist() if "labels" in archive.files else None
-    return WTPMatrix(values, item_labels=labels)
+    return WTPMatrix.load_npz(path)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import DEFAULT_CHUNK_ELEMENTS
 from repro.core.wtp import WTPMatrix
 from repro.data.ratings import RatingsDataset
 from repro.errors import ValidationError
@@ -41,14 +42,23 @@ def wtp_from_ratings(
     return WTPMatrix(values, item_labels=item_labels)
 
 
-def list_price_revenue(dataset: RatingsDataset, wtp: WTPMatrix) -> float:
+def list_price_revenue(
+    dataset: RatingsDataset,
+    wtp: WTPMatrix,
+    chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
+) -> float:
     """Revenue of selling components at their *listed* prices.
 
     This is the paper's "Amazon's pricing" baseline in Table 2: every item
     is offered individually at its listed sales price, and a consumer buys
-    iff her willingness to pay reaches it.
+    iff their willingness to pay reaches it.  Buyer counts are accumulated
+    over column-streamed blocks (never the dense M×N matrix) as exact
+    integers, so the result is identical for every chunk budget.
     """
     if wtp.n_items != dataset.n_items:
         raise ValidationError("WTP matrix and dataset disagree on the number of items")
-    buyers = (wtp.values >= dataset.item_prices[None, :]) & (wtp.values > 0)
-    return float((buyers * dataset.item_prices[None, :]).sum())
+    counts = np.zeros(dataset.n_items, dtype=np.int64)
+    for start, stop, block in wtp.iter_columns(chunk_elements):
+        prices = dataset.item_prices[start:stop]
+        counts[start:stop] = ((block >= prices[None, :]) & (block > 0)).sum(axis=0)
+    return float((counts * dataset.item_prices).sum())

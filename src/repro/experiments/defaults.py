@@ -64,11 +64,19 @@ def default_engine(
     theta: float = THETA,
     adoption=None,
     n_levels: int = PRICE_LEVELS,
+    **engine_kwargs,
 ) -> RevenueEngine:
-    """Engine under the Table 3 defaults (step adoption, 100 levels)."""
+    """Engine under the Table 3 defaults (step adoption, 100 levels).
+
+    Extra keyword arguments pass straight to
+    :class:`~repro.core.revenue.RevenueEngine`, so experiment scripts can
+    sweep backends (``precision=``, ``storage=``, ``chunk_elements=``,
+    ``n_workers=``, ``state_dtype=``) without rebuilding the defaults.
+    """
     return RevenueEngine(
         wtp,
         theta=theta,
         adoption=adoption or StepAdoption(),
         grid=PriceGrid(n_levels=n_levels),
+        **engine_kwargs,
     )

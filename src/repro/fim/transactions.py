@@ -13,6 +13,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.kernels import DEFAULT_CHUNK_ELEMENTS
 from repro.core.wtp import WTPMatrix
 from repro.errors import DataError
 from repro.fim.bitset import pack_bool, popcount
@@ -38,13 +39,23 @@ class TransactionDatabase:
         self._item_support = np.array([popcount(col) for col in self._columns])
 
     @classmethod
-    def from_wtp(cls, wtp: WTPMatrix) -> "TransactionDatabase":
-        """One transaction per consumer: items with positive WTP."""
-        dense = wtp.values > 0
+    def from_wtp(
+        cls, wtp: WTPMatrix, chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS
+    ) -> "TransactionDatabase":
+        """One transaction per consumer: items with positive WTP.
+
+        Column-streamed: each packed tidset is built from a bounded block
+        of item columns, so at most ``chunk_elements`` dense WTP values are
+        alive at once — the M×N matrix is never materialized.
+        """
         instance = cls.__new__(cls)
         instance.n_items = wtp.n_items
         instance.n_transactions = wtp.n_users
-        instance._columns = [pack_bool(dense[:, i]) for i in range(wtp.n_items)]
+        instance._columns = [
+            pack_bool(block[:, offset] > 0)
+            for start, stop, block in wtp.iter_columns(chunk_elements)
+            for offset in range(stop - start)
+        ]
         instance._item_support = np.array([popcount(col) for col in instance._columns])
         return instance
 

@@ -40,6 +40,60 @@ class TestBundleCommand:
         with pytest.raises(SystemExit):
             main(["bundle", "--algorithm", "nope"])
 
+    def test_backend_flags_forwarded(self, capsys, monkeypatch):
+        """--precision/--storage/--chunk-elements/--n-workers/--state-dtype
+        reach the RevenueEngine."""
+        from repro.core.revenue import RevenueEngine
+
+        captured = {}
+        original = RevenueEngine.__init__
+
+        def spy(self, wtp, *args, **kwargs):
+            captured.update(kwargs)
+            return original(self, wtp, *args, **kwargs)
+
+        monkeypatch.setattr(RevenueEngine, "__init__", spy)
+        code = main([
+            "bundle", "--algorithm", "mixed_greedy", "--users", "60",
+            "--items", "10", "--precision", "float32", "--storage", "sparse",
+            "--chunk-elements", "5000", "--n-workers", "3",
+            "--state-dtype", "float32",
+        ])
+        assert code == 0
+        assert "expected revenue" in capsys.readouterr().out
+        assert captured["precision"] == "float32"
+        assert captured["storage"] == "sparse"
+        assert captured["chunk_elements"] == 5000
+        assert captured["n_workers"] == 3
+        assert captured["state_dtype"] == "float32"
+
+    def test_chunk_elements_zero_means_unchunked(self, capsys, monkeypatch):
+        from repro.core.revenue import RevenueEngine
+
+        captured = {}
+        original = RevenueEngine.__init__
+
+        def spy(self, wtp, *args, **kwargs):
+            captured.update(kwargs)
+            return original(self, wtp, *args, **kwargs)
+
+        monkeypatch.setattr(RevenueEngine, "__init__", spy)
+        assert main(["bundle", "--algorithm", "components", "--users", "50",
+                     "--items", "8", "--chunk-elements", "0"]) == 0
+        capsys.readouterr()
+        assert captured["chunk_elements"] is None
+
+    def test_parallel_run_matches_serial(self, capsys):
+        outputs = []
+        for workers in ("1", "4"):
+            assert main(["bundle", "--algorithm", "pure_matching", "--users", "80",
+                         "--items", "12", "--seed", "3", "--n-workers", workers,
+                         "--chunk-elements", "400"]) == 0
+            out = capsys.readouterr().out
+            # Drop the wall-time line; everything else must be identical.
+            outputs.append([l for l in out.splitlines() if "wall time" not in l])
+        assert outputs[0] == outputs[1]
+
 
 class TestExperimentCommand:
     def test_table1(self, capsys):

@@ -203,6 +203,32 @@ class TestLoaders:
         np.testing.assert_allclose(loaded.values, handmade_wtp.values)
         assert loaded.item_labels == handmade_wtp.item_labels
 
+    def test_float32_wtp_roundtrip_keeps_dtype(self, tmp_path, handmade_wtp):
+        """load_npz must not silently widen a float32 matrix to float64."""
+        for storage in ("dense", "sparse"):
+            half = handmade_wtp.with_backend(storage=storage, dtype="float32")
+            path = tmp_path / f"half-{storage}.npz"
+            save_wtp_npz(half, path)
+            loaded = load_wtp_npz(path)
+            assert loaded.dtype == np.dtype(np.float32)
+            assert loaded.storage == storage
+            np.testing.assert_array_equal(
+                np.asarray(loaded.values), np.asarray(half.values)
+            )
+
+    def test_sparse_wtp_roundtrip_stays_sparse(self, tmp_path, handmade_wtp):
+        """Sparse matrices persist their CSC triplet — never densified."""
+        sparse = handmade_wtp.with_backend(storage="sparse")
+        path = tmp_path / "sparse.npz"
+        save_wtp_npz(sparse, path)
+        with np.load(path) as archive:
+            assert "values" not in archive.files  # no dense payload on disk
+            assert "data" in archive.files
+        loaded = load_wtp_npz(path)
+        assert loaded.storage == "sparse"
+        np.testing.assert_allclose(loaded.values, handmade_wtp.values)
+        assert loaded.item_labels == handmade_wtp.item_labels
+
     def test_bad_header_rejected(self, tmp_path):
         ratings = tmp_path / "r.csv"
         prices = tmp_path / "p.csv"

@@ -38,6 +38,18 @@ METHODS = {
     "mixed_greedy": lambda: GreedyMerge(strategy="mixed"),
 }
 
+#: Engine variants that must all reproduce the seed snapshot bit-for-bit.
+#: ``parallel`` caps the chunk budget at 400 columns per chunk (so every
+#: scan really runs many chunks across 4 worker threads) — the parallel
+#: streaming layer must not move a single bit relative to the serial,
+#: default-chunked engine.
+ENGINES = {
+    "default": lambda wtp: default_engine(wtp),
+    "parallel": lambda wtp: default_engine(
+        wtp, n_workers=4, chunk_elements=wtp.n_users * 400
+    ),
+}
+
 
 @pytest.fixture(scope="module")
 def golden():
@@ -52,10 +64,13 @@ def wtp_matrices():
     }
 
 
+@pytest.mark.parametrize("engine_variant", list(ENGINES))
 @pytest.mark.parametrize("dataset", list(DATASETS))
 @pytest.mark.parametrize("method", list(METHODS))
-def test_default_configuration_is_bit_identical(golden, wtp_matrices, dataset, method):
-    engine = default_engine(wtp_matrices[dataset])
+def test_default_configuration_is_bit_identical(
+    golden, wtp_matrices, dataset, method, engine_variant
+):
+    engine = ENGINES[engine_variant](wtp_matrices[dataset])
     result = METHODS[method]().fit(engine)
     offers = sorted(
         (sorted(o.bundle.items), o.price.hex(), o.revenue.hex())
