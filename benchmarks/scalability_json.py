@@ -21,20 +21,31 @@ Backends
 ``streaming-float32`` / ``streaming-sparse``
     The reduced-precision and CSC-sparse WTP storage backends.
 ``streaming-lean-mixed`` / ``streaming-lean-mixed-w4``
-    ``state_dtype=float32``: mixed-strategy subtree states at half memory,
-    serial and 4-worker — the backends that carry mixed matching to 1M
-    users.
+    ``state_dtype=float32`` with the **band** mixed kernel (pinned — these
+    columns predate kernel selection and stay comparable to the committed
+    history): mixed-strategy subtree states at half memory, serial and
+    4-worker — the backends that first carried mixed matching to 1M users.
+``streaming-lean-mixed-sorted`` / ``streaming-lean-mixed-sorted-w4``
+    Same, with ``mixed_kernel="sorted"`` — the O(M log M + T) prefix-sum
+    kernel that replaces the band kernel's O(T'·M) per-pair level scan.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/scalability_json.py
     PYTHONPATH=src python benchmarks/scalability_json.py --factors 50 125 250
 
-The committed artifact is produced by the full matrix::
+The committed artifact layers new cells over the retained PR 2 matrix
+(pure cells and the 1M-user ``streaming-lean-mixed-w4`` band cell) with
+``--merge-existing``, which keeps previously recorded cells without
+re-measuring them.  A bare ``--factors`` runs no pure cells::
 
     PYTHONPATH=src python benchmarks/scalability_json.py \
-        --factors 250 2500 --backends streaming-float64 streaming-float64-w4 \
-        --mixed-factors 2500 --mixed-backends streaming-lean-mixed-w4
+        --factors --mixed-factors 250 \
+        --mixed-backends streaming-lean-mixed streaming-lean-mixed-sorted \
+        --merge-existing
+    PYTHONPATH=src python benchmarks/scalability_json.py \
+        --factors --mixed-factors 2500 \
+        --mixed-backends streaming-lean-mixed-sorted-w4 --merge-existing
 
 The matching heuristic is capped at two iterations (one for the 1M mixed
 cell): the first iteration's full pair scan is exactly the allocation the
@@ -55,6 +66,7 @@ from pathlib import Path
 
 from repro.algorithms.matching_iterative import IterativeMatching
 from repro.core.kernels import DEFAULT_CHUNK_ELEMENTS
+from repro.core.pricing import resolve_mixed_kernel
 from repro.core.revenue import RevenueEngine
 from repro.data.synthetic import amazon_books_like
 from repro.data.wtp_mapping import wtp_from_ratings
@@ -62,15 +74,30 @@ from repro.data.wtp_mapping import wtp_from_ratings
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scalability.json"
 
-#: Engine construction kwargs per backend column.
+#: Engine construction kwargs per backend column.  The lean-mixed columns
+#: pin ``mixed_kernel`` explicitly (the engine default is ``"auto"``) so a
+#: column always measures the same kernel the committed history recorded.
 BACKENDS = {
     "unchunked-float64": {"chunk_elements": None},
     "streaming-float64": {},
     "streaming-float64-w4": {"n_workers": 4},
     "streaming-float32": {"precision": "float32"},
     "streaming-sparse": {"storage": "sparse"},
-    "streaming-lean-mixed": {"state_dtype": "float32"},
-    "streaming-lean-mixed-w4": {"state_dtype": "float32", "n_workers": 4},
+    "streaming-lean-mixed": {"state_dtype": "float32", "mixed_kernel": "band"},
+    "streaming-lean-mixed-w4": {
+        "state_dtype": "float32",
+        "n_workers": 4,
+        "mixed_kernel": "band",
+    },
+    "streaming-lean-mixed-sorted": {
+        "state_dtype": "float32",
+        "mixed_kernel": "sorted",
+    },
+    "streaming-lean-mixed-sorted-w4": {
+        "state_dtype": "float32",
+        "n_workers": 4,
+        "mixed_kernel": "sorted",
+    },
 }
 
 
@@ -95,6 +122,12 @@ def measure_cell(wtp, backend_kwargs: dict, strategy: str, max_iterations: int) 
         "expected_revenue": result.expected_revenue,
         "iterations": result.n_iterations,
         "max_iterations": max_iterations,
+        # Resolved mixed kernel (pure cells never touch it).
+        "mixed_kernel": (
+            resolve_mixed_kernel(engine.mixed_kernel, engine.adoption)
+            if strategy == "mixed"
+            else None
+        ),
     }
 
 
@@ -149,12 +182,53 @@ def summarize(runs: list[dict]) -> dict:
                 == threaded["expected_revenue"],
             }
             break
+    # Sorted-vs-band mixed kernel, one entry per factor where both kernels
+    # have a cell (largest factor first).  Cells are paired only when their
+    # backends differ solely by the "-sorted" token (same worker count and
+    # state dtype), so the ratio measures the kernel and nothing else.
+    kernel_entries = []
+    for factor in factors:
+        mixed_cells = [
+            r
+            for r in runs
+            if r["algorithm"] == "mixed" and r["clone_factor"] == factor
+        ]
+        by_backend = {r["backend"]: r for r in mixed_cells}
+        band = srt = None
+        for r in mixed_cells:
+            if r.get("mixed_kernel") != "sorted":
+                continue
+            partner = by_backend.get(r["backend"].replace("-sorted", ""))
+            if partner and partner.get("mixed_kernel") == "band":
+                band, srt = partner, r
+                break
+        if band and srt:
+            kernel_entries.append(
+                {
+                    "clone_factor": factor,
+                    "n_users": srt["n_users"],
+                    "band_backend": band["backend"],
+                    "sorted_backend": srt["backend"],
+                    "band_wall_seconds": band["wall_seconds"],
+                    "sorted_wall_seconds": srt["wall_seconds"],
+                    "wall_clock_speedup_x": round(
+                        band["wall_seconds"] / max(srt["wall_seconds"], 1e-9), 2
+                    ),
+                    "revenue_relative_delta": (
+                        abs(srt["expected_revenue"] - band["expected_revenue"])
+                        / max(abs(band["expected_revenue"]), 1e-9)
+                    ),
+                }
+            )
+    if kernel_entries:
+        summary["mixed_sorted_vs_band"] = kernel_entries
     million = [r for r in runs if r["n_users"] >= 1_000_000]
     if million:
         summary["million_user_runs"] = [
             {
                 "algorithm": r["algorithm"],
                 "backend": r["backend"],
+                "mixed_kernel": r.get("mixed_kernel"),
                 "n_users": r["n_users"],
                 "wall_seconds": r["wall_seconds"],
                 "ru_maxrss_mb": r["ru_maxrss_mb"],
@@ -197,12 +271,46 @@ def run(args) -> dict:
             runs.append(cell)
             print(
                 f"factor={factor:>4} users={wtp.n_users:>8} {strategy:<5} "
-                f"{backend:<22} wall={cell['wall_seconds']:>8.2f}s "
+                f"{backend:<28} wall={cell['wall_seconds']:>8.2f}s "
                 f"peak={cell['tracemalloc_peak_mb']:>9.1f}MB "
                 f"revenue={cell['expected_revenue']:.2f}",
                 flush=True,
             )
         del wtp
+
+    if args.merge_existing and args.output.exists():
+        # Retain previously recorded cells this invocation did not re-run
+        # (keyed by algorithm × backend × factor), so multi-minute history —
+        # e.g. the 1M-user band-kernel mixed cell — survives re-recording.
+        # Only cells from the *same base workload* are comparable: a record
+        # produced under a different seed or base shape is skipped outright
+        # rather than merged into ratios it cannot support.
+        previous = json.loads(args.output.read_text())
+        base = {
+            "n_users": args.base_users,
+            "n_items": args.base_items,
+            "seed": args.seed,
+        }
+        if previous.get("base") != base:
+            print(
+                f"warning: not merging {args.output} — its base workload "
+                f"{previous.get('base')} differs from this run's {base}"
+            )
+        else:
+            fresh = {(r["algorithm"], r["backend"], r["clone_factor"]) for r in runs}
+            retained = [
+                r
+                for r in previous.get("runs", [])
+                if (r["algorithm"], r["backend"], r["clone_factor"]) not in fresh
+            ]
+            for r in retained:
+                # Cells recorded before kernel selection existed ran the
+                # only mixed kernel of their era: the band scan.
+                if r["algorithm"] == "mixed" and "mixed_kernel" not in r:
+                    r["mixed_kernel"] = "band"
+                r.setdefault("retained_from_previous_record", True)
+            runs = retained + runs
+            runs.sort(key=lambda r: (r["clone_factor"], r["algorithm"], r["backend"]))
 
     return {
         "benchmark": "scalability (Figure 7a workload, matching, capped iterations)",
@@ -226,7 +334,14 @@ def run(args) -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--factors", type=int, nargs="+", default=[50, 125, 250])
+    parser.add_argument(
+        "--factors",
+        type=int,
+        nargs="*",
+        default=[50, 125, 250],
+        help="clone factors for the pure matching cells (pass the bare flag "
+        "to run no pure cells, e.g. for a mixed-only --merge-existing update)",
+    )
     parser.add_argument("--base-users", type=int, default=400)
     parser.add_argument("--base-items", type=int, default=60)
     parser.add_argument("--seed", type=int, default=2)
@@ -260,6 +375,12 @@ def main() -> None:
         "a pure one at 1M users)",
     )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--merge-existing",
+        action="store_true",
+        help="keep cells already recorded in --output that this invocation "
+        "does not re-run (summaries recompute over the merged set)",
+    )
     args = parser.parse_args()
     report = run(args)
     args.output.write_text(json.dumps(report, indent=1) + "\n")

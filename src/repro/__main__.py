@@ -18,6 +18,7 @@ Examples
     python -m repro bundle --algorithm mixed_matching --users 400 --items 60
     python -m repro bundle --ratings r.csv --prices p.csv --algorithm pure_greedy
     python -m repro bundle --storage sparse --precision float32 --n-workers 4
+    python -m repro bundle --algorithm mixed_greedy --mixed-kernel sorted
     python -m repro experiment table2
     python -m repro generate --users 500 --items 80 --out-ratings r.csv --out-prices p.csv
 """
@@ -89,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--state-dtype", choices=("float64", "float32"), default=None,
         help="mixed-strategy subtree-state dtype (float32 halves O(N*M) state)",
     )
+    backend.add_argument(
+        "--mixed-kernel", choices=("auto", "band", "sorted"), default=None,
+        help="mixed-merge pricing kernel: sorted = O(M log M + T) per pair "
+             "(deterministic adoption), band = O(T'*M) reference; "
+             "default: the engine's auto resolution",
+    )
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("name", choices=EXPERIMENTS)
@@ -120,6 +127,8 @@ def _command_bundle(args) -> int:
         engine_kwargs["chunk_elements"] = args.chunk_elements or None
     if args.state_dtype is not None:
         engine_kwargs["state_dtype"] = args.state_dtype
+    if args.mixed_kernel is not None:
+        engine_kwargs["mixed_kernel"] = args.mixed_kernel
     engine = RevenueEngine(wtp_from_ratings(dataset, conversion=args.conversion),
                            theta=args.theta, n_workers=args.n_workers,
                            **engine_kwargs)

@@ -47,9 +47,17 @@ from repro.core.pricing import (
     DEFAULT_CHUNK_ELEMENTS,
     PriceGrid,
     price_mixed_bundle_batch,
+    price_mixed_bundle_batch_sorted,
     price_pure_batch,
+    resolve_mixed_kernel,
 )
 from repro.errors import ValidationError
+
+#: Per-candidate fill buffers of the mixed scan: one ``(M, width)`` column
+#: each for bundle WTP, base score, and base payment.  ``chunk_width``
+#: divides the element budget by this count so the *combined* fill
+#: allocation — not one buffer of the three — honours ``chunk_elements``.
+MIXED_FILL_BUFFERS = 3
 
 
 def check_chunk_elements(chunk_elements: int | None) -> int | None:
@@ -113,11 +121,19 @@ def run_chunks(
         list(pool.map(worker, range(n_workers)))
 
 
-def chunk_width(n_columns: int, n_users: int, chunk_elements: int | None) -> int:
-    """Columns per chunk under the element budget (at least one)."""
+def chunk_width(
+    n_columns: int, n_users: int, chunk_elements: int | None, n_buffers: int = 1
+) -> int:
+    """Columns per chunk under the element budget (at least one).
+
+    ``n_buffers`` is how many ``(n_users, width)`` buffers the caller
+    allocates per chunk: the budget caps their *combined* footprint, so a
+    scan that fills several per-column arrays (the mixed scan fills
+    :data:`MIXED_FILL_BUFFERS`) gets proportionally narrower chunks.
+    """
     if chunk_elements is None or n_columns == 0:
         return max(1, n_columns)
-    return max(1, min(n_columns, chunk_elements // max(1, n_users)))
+    return max(1, min(n_columns, chunk_elements // max(1, n_users * n_buffers)))
 
 
 def iter_chunks(n_columns: int, width: int) -> Iterator[tuple[int, int]]:
@@ -183,27 +199,43 @@ def stream_mixed_merges(
     grid: PriceGrid,
     chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
     n_workers: int = 1,
+    mixed_kernel: str = "band",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Streamed :func:`~repro.core.pricing.price_mixed_bundle_batch`.
+    """Streamed mixed-merge pricing over *n_pairs* candidates.
 
     ``fill_pair(k, wtp_col, score_col, pay_col)`` must write candidate
     ``k``'s bundle-WTP column and base choice-state columns (each of length
     ``n_users``) and return its Guiltinan interval ``(floor, ceiling)``.
     Only one chunk of pair columns is ever alive per worker, so scanning
     all ~N²/2 candidate merges needs O(chunk · n_workers) rather than
-    O(M·N²) memory.  ``chunk_elements=None`` disables chunking entirely —
-    the same convention as the pure path.  ``fill_pair`` must be
-    thread-safe when ``n_workers > 1``.
+    O(M·N²) memory.  The three per-column fill buffers *share* the
+    ``chunk_elements`` budget (:data:`MIXED_FILL_BUFFERS`);
+    ``chunk_elements=None`` disables chunking entirely — the same
+    convention as the pure path.  ``fill_pair`` must be thread-safe when
+    ``n_workers > 1``.
+
+    ``mixed_kernel`` selects the per-chunk pricing kernel (see
+    :data:`~repro.core.pricing.MIXED_KERNELS`): ``"band"`` runs
+    :func:`~repro.core.pricing.price_mixed_bundle_batch`, ``"sorted"`` the
+    O(M log M + T)-per-pair
+    :func:`~repro.core.pricing.price_mixed_bundle_batch_sorted`
+    (deterministic adoption only), and ``"auto"`` resolves by adoption
+    model.
 
     Returns ``(prices, gains, upgraded, feasible)`` of length ``n_pairs``.
     """
+    kernel = (
+        price_mixed_bundle_batch_sorted
+        if resolve_mixed_kernel(mixed_kernel, adoption) == "sorted"
+        else price_mixed_bundle_batch
+    )
     prices = np.zeros(n_pairs)
     gains = np.full(n_pairs, -np.inf)
     upgraded = np.zeros(n_pairs)
     feasible = np.zeros(n_pairs, dtype=bool)
     if n_pairs == 0:
         return prices, gains, upgraded, feasible
-    width = chunk_width(n_pairs, n_users, chunk_elements)
+    width = chunk_width(n_pairs, n_users, chunk_elements, MIXED_FILL_BUFFERS)
 
     def make_buffers() -> tuple:
         return (
@@ -226,7 +258,7 @@ def stream_mixed_merges(
             )
             floors[offset] = floor
             ceilings[offset] = ceiling
-        p, g, u, f = price_mixed_bundle_batch(
+        p, g, u, f = kernel(
             wtp_buf[:, :count],
             score_buf[:, :count],
             pay_buf[:, :count],

@@ -439,6 +439,44 @@ def _price_exact_batch(
 
 
 # -------------------------------------------------------------------- mixed
+#: Selectable kernels for the streamed mixed-merge scans.  ``"band"`` is the
+#: original O(T'·M)-per-pair level scan (the bit-reference the equivalence
+#: tests pin against); ``"sorted"`` is the O(M log M + T) margin-sorted
+#: prefix-sum kernel (deterministic adoption only); ``"auto"`` resolves to
+#: ``"sorted"`` when the adoption model is deterministic and to ``"band"``
+#: otherwise.
+MIXED_KERNELS = ("auto", "band", "sorted")
+
+
+def check_mixed_kernel(mixed_kernel: str) -> str:
+    """Validate a mixed-kernel selector (one of :data:`MIXED_KERNELS`)."""
+    if mixed_kernel not in MIXED_KERNELS:
+        raise ValidationError(
+            f"mixed_kernel must be one of {MIXED_KERNELS}, got {mixed_kernel!r}"
+        )
+    return mixed_kernel
+
+
+def resolve_mixed_kernel(mixed_kernel: str, adoption: AdoptionModel) -> str:
+    """Resolve ``"auto"`` to a concrete kernel for *adoption*.
+
+    The sorted kernel exploits that a deterministic upgrade decision is a
+    single threshold on the per-user margin; sigmoid adoption weights every
+    user at every level, so ``"auto"`` keeps the band kernel there.
+    Explicitly requesting ``"sorted"`` under stochastic adoption is an
+    error rather than a silent fallback.
+    """
+    check_mixed_kernel(mixed_kernel)
+    if mixed_kernel == "auto":
+        return "sorted" if adoption.is_deterministic else "band"
+    if mixed_kernel == "sorted" and not adoption.is_deterministic:
+        raise PricingError(
+            "the sorted mixed kernel requires a deterministic adoption model; "
+            "use mixed_kernel='band' or 'auto' for stochastic adoption"
+        )
+    return mixed_kernel
+
+
 def feasible_levels(
     grid: PriceGrid, effective: np.ndarray, floor: float, ceiling: float
 ) -> np.ndarray:
@@ -610,4 +648,115 @@ def price_mixed_bundle_batch(
         prices[start:stop] = np.where(has_level, all_levels[best, span], 0.0)
         gains[start:stop] = np.where(has_level, gain_levels[best, span], -np.inf)
         upgraded[start:stop] = np.where(has_level, upg_levels[best, span], 0.0)
+    return prices, gains, upgraded, feasible
+
+
+def price_mixed_bundle_batch_sorted(
+    bundle_wtps: np.ndarray,
+    base_scores: np.ndarray,
+    base_pays: np.ndarray,
+    floors: np.ndarray,
+    ceilings: np.ndarray,
+    adoption: AdoptionModel | None = None,
+    grid: PriceGrid | None = None,
+    chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sort-based :func:`price_mixed_bundle_batch` for deterministic adoption.
+
+    Under the step model, user ``u`` upgrades to the merged bundle at price
+    ``p`` iff ``p − tol(p) ≤ margin_u`` where ``margin_u = effective_u −
+    base_score_u`` — a single threshold per level.  So for one pair
+
+        gain(p) = p · #{margin ≥ p − tol}  −  Σ(base_pay | margin ≥ p − tol),
+
+    and both aggregates fall out of the margin-sorted order with prefix
+    sums: one sort per pair, then every feasible Guiltinan level costs one
+    ``searchsorted`` — O(M log M + T) instead of the band kernel's O(T'·M).
+    As an exact refinement, only margins *inside* the feasible band are
+    sorted: users at or above the top level's threshold upgrade at every
+    feasible level (their count and payment are folded in as constants), so
+    the sort handles just the users whose decision actually varies across
+    the band — typically a small fraction of M.
+
+    The level grid and the ``LEVEL_RTOL`` slack are computed with identical
+    arithmetic to the band kernel; the threshold test is the band kernel's
+    comparison rearranged (``margin ≥ level − tol`` versus ``effective −
+    level ≥ score − tol``), which can only disagree for a margin within an
+    ulp of the slack boundary itself — ~1e7 ulps away from the on-grid WTP
+    values the slack protects.  ``gains`` differ from the band kernel by
+    float accumulation order (payments are summed margin-sorted here,
+    user-ordered there), i.e. to ~1e-9 relative.  Every per-pair
+    computation is independent and sequentially ordered, so results are
+    bit-identical for any ``chunk_elements`` and worker count
+    (``chunk_elements`` is accepted for interface symmetry; per-pair work
+    is already O(M)-bounded).
+    """
+    adoption = adoption or StepAdoption()
+    grid = grid or PriceGrid()
+    if grid.mode != "linspace":
+        raise PricingError("batch mixed pricing requires a linspace grid")
+    if not adoption.is_deterministic:
+        raise PricingError(
+            "the sorted mixed kernel requires a deterministic adoption model"
+        )
+    w_b = np.asarray(bundle_wtps, dtype=np.float64)
+    if w_b.ndim != 2:
+        raise ValidationError(f"bundle_wtps must be 2-D, got shape {w_b.shape}")
+    n_users, n_pairs = w_b.shape
+    floors = np.asarray(floors, dtype=np.float64)
+    ceilings = np.asarray(ceilings, dtype=np.float64)
+    effective = adoption.alpha * w_b + adoption.epsilon
+
+    prices = np.zeros(n_pairs)
+    gains = np.full(n_pairs, -np.inf)
+    upgraded = np.zeros(n_pairs)
+    feasible = np.zeros(n_pairs, dtype=bool)
+    if n_pairs == 0 or n_users == 0:
+        return prices, gains, upgraded, feasible
+
+    n_levels = grid.n_levels
+    tops = effective.max(axis=0)
+    level_ranks = np.arange(1, n_levels + 1, dtype=np.float64)
+    for k in range(n_pairs):
+        top = tops[k]
+        if top <= 0:
+            continue
+        # Identical level arithmetic to the band kernel: rank · (top / T).
+        levels = level_ranks * (top / n_levels)
+        valid = (levels > floors[k]) & (levels < ceilings[k])
+        if not valid.any():
+            continue
+        feasible[k] = True
+        # Ascending levels make the Guiltinan interval a contiguous band.
+        rows = np.flatnonzero(valid)
+        lv = levels[rows[0] : rows[-1] + 1]
+        compare = lv - LEVEL_RTOL * (1.0 + np.abs(lv))
+        column = effective[:, k]
+        # Out-of-market users (zero WTP) sort to -inf: below every finite
+        # threshold, so they never count and never contribute payment.
+        margin = np.where(w_b[:, k] > 0, column - base_scores[:, k], -np.inf)
+        pay = base_pays[:, k]
+        # Users at or above the top threshold upgrade at every band level.
+        always = margin >= compare[-1]
+        n_always = int(np.count_nonzero(always))
+        pay_always = float(pay[always].sum())
+        if compare.size == 1:
+            counts = np.array([float(n_always)])
+            tails = np.array([pay_always])
+        else:
+            varying = (margin >= compare[0]) & ~always
+            mid_margin = margin[varying]
+            order = np.argsort(mid_margin)
+            mid_sorted = mid_margin[order]
+            mid_pay_prefix = np.concatenate(([0.0], np.cumsum(pay[varying][order])))
+            # First sorted position at or above each threshold: everything
+            # from there up is in the level's upgrade set.
+            idx = np.searchsorted(mid_sorted, compare, side="left")
+            counts = n_always + (mid_sorted.size - idx).astype(np.float64)
+            tails = pay_always + (mid_pay_prefix[-1] - mid_pay_prefix[idx])
+        gain_band = lv * counts - tails
+        best = int(np.argmax(gain_band))  # first (lowest) level on ties
+        prices[k] = lv[best]
+        gains[k] = gain_band[best]
+        upgraded[k] = counts[best]
     return prices, gains, upgraded, feasible

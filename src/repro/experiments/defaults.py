@@ -71,7 +71,10 @@ def default_engine(
     Extra keyword arguments pass straight to
     :class:`~repro.core.revenue.RevenueEngine`, so experiment scripts can
     sweep backends (``precision=``, ``storage=``, ``chunk_elements=``,
-    ``n_workers=``, ``state_dtype=``) without rebuilding the defaults.
+    ``n_workers=``, ``state_dtype=``, ``mixed_kernel=``) without
+    rebuilding the defaults.  The default engine resolves
+    ``mixed_kernel="auto"`` to the sorted prefix-sum kernel (step adoption
+    is deterministic); the golden snapshot is produced on that path.
     """
     return RevenueEngine(
         wtp,

@@ -4,6 +4,13 @@ Run from the repo root with ``PYTHONPATH=src python tests/golden/make_golden.py`
 The snapshot pins the exact (bit-identical) output of the four heuristics on
 the default float64/linspace configuration; any refactor of the pricing path
 must keep these numbers unchanged.
+
+The snapshot's ``metadata`` block records which mixed-merge kernel produced
+it (the default engine resolves ``mixed_kernel="auto"`` by adoption model),
+because the sorted and band kernels accumulate per-user payments in
+different orders: their gains agree only to ~1e-9 relative, so switching
+the producing kernel is an *intentional* behaviour change that requires
+regenerating this file.
 """
 
 import json
@@ -11,6 +18,7 @@ from pathlib import Path
 
 from repro.algorithms.greedy import GreedyMerge
 from repro.algorithms.matching_iterative import IterativeMatching
+from repro.core.pricing import resolve_mixed_kernel
 from repro.data.synthetic import amazon_books_like
 from repro.data.wtp_mapping import wtp_from_ratings
 from repro.experiments.defaults import LAMBDA, default_engine
@@ -29,12 +37,16 @@ METHODS = {
 
 
 def snapshot() -> dict:
-    out = {}
+    datasets = {}
+    producing_kernel = None
     for ds_name, kwargs in DATASETS.items():
         wtp = wtp_from_ratings(amazon_books_like(**kwargs), conversion=LAMBDA)
         per_method = {}
         for method, factory in METHODS.items():
             engine = default_engine(wtp)
+            producing_kernel = resolve_mixed_kernel(
+                engine.mixed_kernel, engine.adoption
+            )
             result = factory().fit(engine)
             offers = sorted(
                 (sorted(o.bundle.items), o.price.hex(), o.revenue.hex())
@@ -44,12 +56,18 @@ def snapshot() -> dict:
                 "revenue": result.expected_revenue.hex(),
                 "offers": offers,
             }
-        out[ds_name] = per_method
-    return out
+        datasets[ds_name] = per_method
+    return {
+        "metadata": {
+            "generator": "tests/golden/make_golden.py",
+            "mixed_kernel": producing_kernel,
+        },
+        "datasets": datasets,
+    }
 
 
 if __name__ == "__main__":
     data = snapshot()
     path = Path(__file__).parent / "default_config.json"
     path.write_text(json.dumps(data, indent=1))
-    print(f"wrote {path}")
+    print(f"wrote {path} (mixed_kernel={data['metadata']['mixed_kernel']})")

@@ -41,8 +41,8 @@ class TestBundleCommand:
             main(["bundle", "--algorithm", "nope"])
 
     def test_backend_flags_forwarded(self, capsys, monkeypatch):
-        """--precision/--storage/--chunk-elements/--n-workers/--state-dtype
-        reach the RevenueEngine."""
+        """--precision/--storage/--chunk-elements/--n-workers/--state-dtype/
+        --mixed-kernel reach the RevenueEngine."""
         from repro.core.revenue import RevenueEngine
 
         captured = {}
@@ -57,7 +57,7 @@ class TestBundleCommand:
             "bundle", "--algorithm", "mixed_greedy", "--users", "60",
             "--items", "10", "--precision", "float32", "--storage", "sparse",
             "--chunk-elements", "5000", "--n-workers", "3",
-            "--state-dtype", "float32",
+            "--state-dtype", "float32", "--mixed-kernel", "sorted",
         ])
         assert code == 0
         assert "expected revenue" in capsys.readouterr().out
@@ -66,6 +66,22 @@ class TestBundleCommand:
         assert captured["chunk_elements"] == 5000
         assert captured["n_workers"] == 3
         assert captured["state_dtype"] == "float32"
+        assert captured["mixed_kernel"] == "sorted"
+
+    def test_mixed_kernel_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(["bundle", "--mixed-kernel", "fastest"])
+
+    def test_sorted_kernel_run_close_to_band(self, capsys):
+        revenues = []
+        for kernel in ("band", "sorted"):
+            assert main(["bundle", "--algorithm", "mixed_greedy", "--users", "80",
+                         "--items", "12", "--seed", "3",
+                         "--mixed-kernel", kernel]) == 0
+            out = capsys.readouterr().out
+            line = next(l for l in out.splitlines() if "expected revenue" in l)
+            revenues.append(float(line.split(":")[1]))
+        assert revenues[1] == pytest.approx(revenues[0], rel=0.01)
 
     def test_chunk_elements_zero_means_unchunked(self, capsys, monkeypatch):
         from repro.core.revenue import RevenueEngine

@@ -1,12 +1,19 @@
-"""Bit-identity of the default configuration against the seed snapshot.
+"""Bit-identity of the default configuration against the golden snapshot.
 
 ``tests/golden/default_config.json`` pins the exact output — prices,
 revenues, and selected bundles, as float hex — of the four heuristics on
-the default float64/linspace configuration, captured from the original
-(pre-streaming) implementation.  The streaming kernels, incremental raw-WTP
-assembly, bit-packed co-support, and bincount histogram are all required to
-leave these results bit-for-bit unchanged; this test catches any silent
-numeric drift in the hot path.
+the default float64/linspace configuration.  The streaming kernels,
+incremental raw-WTP assembly, bit-packed co-support, and bincount histogram
+are all required to leave these results bit-for-bit unchanged; this test
+catches any silent numeric drift in the hot path.
+
+The snapshot's ``metadata.mixed_kernel`` records which mixed-merge kernel
+produced it; the default engine must still resolve to that kernel, so a
+change of the default pricing path cannot silently ride on a stale
+snapshot.  (The current snapshot is produced by the sorted prefix-sum
+kernel — the band kernel accumulates payments in a different order, so its
+gains differ at ~1e-9 relative and its merge choices can differ on
+knife-edge ties.)
 
 Regenerate (only after an *intentional* behaviour change) with::
 
@@ -20,6 +27,7 @@ import pytest
 
 from repro.algorithms.greedy import GreedyMerge
 from repro.algorithms.matching_iterative import IterativeMatching
+from repro.core.pricing import resolve_mixed_kernel
 from repro.data.synthetic import amazon_books_like
 from repro.data.wtp_mapping import wtp_from_ratings
 from repro.experiments.defaults import LAMBDA, default_engine
@@ -38,7 +46,7 @@ METHODS = {
     "mixed_greedy": lambda: GreedyMerge(strategy="mixed"),
 }
 
-#: Engine variants that must all reproduce the seed snapshot bit-for-bit.
+#: Engine variants that must all reproduce the golden snapshot bit-for-bit.
 #: ``parallel`` caps the chunk budget at 400 columns per chunk (so every
 #: scan really runs many chunks across 4 worker threads) — the parallel
 #: streaming layer must not move a single bit relative to the serial,
@@ -52,8 +60,13 @@ ENGINES = {
 
 
 @pytest.fixture(scope="module")
-def golden():
+def snapshot():
     return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden(snapshot):
+    return snapshot["datasets"]
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +75,13 @@ def wtp_matrices():
         name: wtp_from_ratings(amazon_books_like(**kwargs), conversion=LAMBDA)
         for name, kwargs in DATASETS.items()
     }
+
+
+def test_snapshot_metadata_matches_default_kernel(snapshot, wtp_matrices):
+    """The default engine must resolve to the snapshot's producing kernel."""
+    engine = ENGINES["default"](wtp_matrices["small"])
+    resolved = resolve_mixed_kernel(engine.mixed_kernel, engine.adoption)
+    assert snapshot["metadata"]["mixed_kernel"] == resolved
 
 
 @pytest.mark.parametrize("engine_variant", list(ENGINES))

@@ -158,6 +158,72 @@ class TestChunkedPurePricing:
         assert chunk_width(100, 10, None) == 100  # unbounded
         assert chunk_width(0, 10, 50) == 1
 
+    def test_chunk_width_divides_budget_across_buffers(self):
+        # A scan filling n_buffers per-column arrays gets narrower chunks,
+        # so the *combined* allocation honours the budget.
+        assert chunk_width(100, 10, 60, n_buffers=3) == 2
+        assert chunk_width(100, 10, 60, n_buffers=1) == 6
+        assert chunk_width(100, 10, None, n_buffers=3) == 100  # unbounded
+        assert chunk_width(100, 1000, 60, n_buffers=3) == 1  # at least one
+
+
+class TestMixedFillBufferBudget:
+    """Regression: the mixed scan's three fill buffers share the budget.
+
+    ``stream_mixed_merges`` fills one wtp, one score, and one pay column
+    per candidate; the chunk width used to be budgeted as if there were a
+    *single* ``(M, width)`` buffer, so real peak fill memory was ~3× the
+    ``chunk_elements`` promise.
+    """
+
+    @pytest.mark.parametrize("mixed_kernel", ["band", "sorted"])
+    def test_fill_allocation_stays_within_budget(self, monkeypatch, mixed_kernel):
+        from repro.core.adoption import StepAdoption as Step
+        from repro.core.kernels import MIXED_FILL_BUFFERS, stream_mixed_merges
+
+        n_users, n_pairs = 64, 40
+        budget = n_users * 12  # one-buffer accounting would pick width 12
+        fill_allocations = []
+        real_empty = np.empty
+
+        def tracking_empty(shape, dtype=float, **kwargs):
+            array = real_empty(shape, dtype=dtype, **kwargs)
+            if array.ndim == 2 and array.shape[0] == n_users:
+                fill_allocations.append(array.nbytes)
+            return array
+
+        rng = np.random.default_rng(3)
+        wtp = rng.uniform(0.0, 20.0, size=(n_users, n_pairs))
+        scores = rng.uniform(0.0, 4.0, size=(n_users, n_pairs))
+        pays = rng.uniform(0.0, 5.0, size=(n_users, n_pairs))
+        monkeypatch.setattr(np, "empty", tracking_empty)
+
+        def fill_pair(k, wtp_col, score_col, pay_col):
+            wtp_col[:] = wtp[:, k]
+            score_col[:] = scores[:, k]
+            pay_col[:] = pays[:, k]
+            return 2.0, 9.0
+
+        result = stream_mixed_merges(
+            fill_pair, n_pairs, n_users, Step(), PriceGrid(30),
+            chunk_elements=budget, mixed_kernel=mixed_kernel,
+        )
+        assert fill_allocations, "fill buffers were never allocated"
+        assert sum(fill_allocations) <= budget * 8  # float64 bytes
+        assert len(fill_allocations) == MIXED_FILL_BUFFERS
+        # The pre-fix accounting (budget // n_users per buffer) would have
+        # allocated MIXED_FILL_BUFFERS times that footprint.
+        old_width = budget // n_users
+        assert MIXED_FILL_BUFFERS * old_width * n_users * 8 > budget * 8
+        # Narrower chunks must not change the scan's results.
+        monkeypatch.setattr(np, "empty", real_empty)
+        unchunked = stream_mixed_merges(
+            fill_pair, n_pairs, n_users, Step(), PriceGrid(30),
+            chunk_elements=None, mixed_kernel=mixed_kernel,
+        )
+        for got, want in zip(result, unchunked):
+            np.testing.assert_allclose(got, want, rtol=1e-9)
+
 
 class TestChunkedMixedPricing:
     @pytest.mark.parametrize("adoption_key", ["step", "sigmoid"])
