@@ -64,51 +64,52 @@ import time
 import tracemalloc
 from pathlib import Path
 
-from repro.algorithms.matching_iterative import IterativeMatching
+from repro.api import AlgorithmSpec, EngineConfig
 from repro.core.kernels import DEFAULT_CHUNK_ELEMENTS
 from repro.core.pricing import resolve_mixed_kernel
-from repro.core.revenue import RevenueEngine
 from repro.data.synthetic import amazon_books_like
 from repro.data.wtp_mapping import wtp_from_ratings
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scalability.json"
 
-#: Engine construction kwargs per backend column.  The lean-mixed columns
-#: pin ``mixed_kernel`` explicitly (the engine default is ``"auto"``) so a
-#: column always measures the same kernel the committed history recorded.
+#: Typed engine config per backend column (the former loose-kwargs dicts).
+#: The lean-mixed columns pin ``mixed_kernel`` explicitly (the engine
+#: default is ``"auto"``) so a column always measures the same kernel the
+#: committed history recorded.
 BACKENDS = {
-    "unchunked-float64": {"chunk_elements": None},
-    "streaming-float64": {},
-    "streaming-float64-w4": {"n_workers": 4},
-    "streaming-float32": {"precision": "float32"},
-    "streaming-sparse": {"storage": "sparse"},
-    "streaming-lean-mixed": {"state_dtype": "float32", "mixed_kernel": "band"},
-    "streaming-lean-mixed-w4": {
-        "state_dtype": "float32",
-        "n_workers": 4,
-        "mixed_kernel": "band",
-    },
-    "streaming-lean-mixed-sorted": {
-        "state_dtype": "float32",
-        "mixed_kernel": "sorted",
-    },
-    "streaming-lean-mixed-sorted-w4": {
-        "state_dtype": "float32",
-        "n_workers": 4,
-        "mixed_kernel": "sorted",
-    },
+    "unchunked-float64": EngineConfig(chunk_elements=None),
+    "streaming-float64": EngineConfig(),
+    "streaming-float64-w4": EngineConfig(n_workers=4),
+    "streaming-float32": EngineConfig(precision="float32"),
+    "streaming-sparse": EngineConfig(storage="sparse"),
+    "streaming-lean-mixed": EngineConfig(state_dtype="float32", mixed_kernel="band"),
+    "streaming-lean-mixed-w4": EngineConfig(
+        state_dtype="float32", n_workers=4, mixed_kernel="band"
+    ),
+    "streaming-lean-mixed-sorted": EngineConfig(
+        state_dtype="float32", mixed_kernel="sorted"
+    ),
+    "streaming-lean-mixed-sorted-w4": EngineConfig(
+        state_dtype="float32", n_workers=4, mixed_kernel="sorted"
+    ),
 }
 
 
-def measure_cell(wtp, backend_kwargs: dict, strategy: str, max_iterations: int) -> dict:
+def measure_cell(
+    wtp, config: EngineConfig, strategy: str, max_iterations: int
+) -> dict:
     """One (algorithm, backend, factor) cell: fit matching under tracemalloc."""
     rss_before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     tracemalloc.start()
     started = time.perf_counter()
-    engine = RevenueEngine(wtp, **backend_kwargs)
-    result = IterativeMatching(strategy=strategy, max_iterations=max_iterations).fit(
-        engine
+    engine = config.build(wtp)
+    result = (
+        AlgorithmSpec(
+            f"{strategy}_matching", {"max_iterations": max_iterations}
+        )
+        .build()
+        .fit(engine)
     )
     wall = time.perf_counter() - started
     _, peak = tracemalloc.get_traced_memory()

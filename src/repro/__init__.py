@@ -17,8 +17,20 @@ maximizes expected revenue.  Quick tour::
     bundled = IterativeMatching(strategy="mixed").fit(engine)
     print(bundled.coverage, bundled.gain_over(baseline.expected_revenue))
 
+For production use the fit/serve facade is the entry point::
+
+    from repro import BundlingSolver, BundlingSolution, EngineConfig
+
+    solution = BundlingSolver("mixed_matching").fit(wtp)   # offline fit
+    solution.save("menu.json")                             # durable artifact
+    quote = BundlingSolution.load("menu.json").quote(new_user_wtp)  # online
+
 Subpackages
 -----------
+``repro.api``
+    The public fit/serve surface: typed engine/algorithm configs, the
+    :class:`BundlingSolver` facade, persistent :class:`BundlingSolution`
+    artifacts with bit-exact JSON round-trips and online ``quote``.
 ``repro.core``
     WTP matrix, adoption models (Eq. 6), pricing (Sec. 4.2), revenue engine,
     consumer choice, configurations, evaluation metrics.
@@ -36,6 +48,14 @@ Subpackages
     Regeneration of every table and figure in the paper's evaluation.
 """
 
+from repro.api import (
+    AdoptionSpec,
+    AlgorithmSpec,
+    BundlingSolution,
+    BundlingSolver,
+    EngineConfig,
+    QuoteResult,
+)
 from repro.algorithms import (
     BASELINE_METHODS,
     PAPER_METHODS,
@@ -81,8 +101,14 @@ from repro.errors import ReproError
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdoptionSpec",
+    "AlgorithmSpec",
     "BASELINE_METHODS",
     "Bundle",
+    "BundlingSolution",
+    "BundlingSolver",
+    "EngineConfig",
+    "QuoteResult",
     "BundlingAlgorithm",
     "BundlingResult",
     "Components",

@@ -3,8 +3,14 @@
 Commands
 --------
 ``bundle``
-    Run a bundling algorithm on a ratings CSV (or the synthetic default)
-    and print the resulting configuration summary.
+    Fit a bundling algorithm on a ratings CSV (or the synthetic default)
+    through the :class:`repro.api.BundlingSolver` facade, print the
+    configuration summary, and optionally persist the fitted solution with
+    ``--save-solution``.
+``quote``
+    Price a batch of users against a solution saved by ``bundle
+    --save-solution`` — the online serving path: no bundling algorithm
+    runs, the menu is fixed, only the consumers change.
 ``experiment``
     Regenerate one of the paper's tables/figures and print it.
 ``generate``
@@ -18,7 +24,8 @@ Examples
     python -m repro bundle --algorithm mixed_matching --users 400 --items 60
     python -m repro bundle --ratings r.csv --prices p.csv --algorithm pure_greedy
     python -m repro bundle --storage sparse --precision float32 --n-workers 4
-    python -m repro bundle --algorithm mixed_greedy --mixed-kernel sorted
+    python -m repro bundle --algorithm mixed_greedy --save-solution menu.json
+    python -m repro quote --solution menu.json --ratings new_users.csv --prices p.csv
     python -m repro experiment table2
     python -m repro generate --users 500 --items 80 --out-ratings r.csv --out-prices p.csv
 """
@@ -28,12 +35,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.algorithms.registry import algorithm_names, make_algorithm
+from repro.algorithms.registry import algorithm_names, algorithm_options
+from repro.api import AlgorithmSpec, BundlingSolution, BundlingSolver, EngineConfig
 from repro.core.evaluation import revenue_gain
-from repro.core.revenue import RevenueEngine
 from repro.data.loaders import load_ratings_csv, save_ratings_csv
 from repro.data.synthetic import amazon_books_like
-from repro.data.wtp_mapping import wtp_from_ratings
+from repro.data.wtp_mapping import DEFAULT_LAMBDA, wtp_from_ratings
+from repro.errors import ReproError
 
 EXPERIMENTS = ("table1", "table2", "table45", "table6",
                "figure1", "figure2", "figure5", "figure6")
@@ -51,6 +59,23 @@ def _synthetic(users: int, items: int, seed: int):
     )
 
 
+def _add_dataset_arguments(
+    parser, conversion_default: float | None = DEFAULT_LAMBDA
+) -> None:
+    parser.add_argument("--ratings", help="ratings CSV (user,item,rating)")
+    parser.add_argument("--prices", help="prices CSV (item,price)")
+    parser.add_argument("--users", type=int, default=400, help="synthetic users")
+    parser.add_argument("--items", type=int, default=60, help="synthetic items")
+    parser.add_argument("--seed", type=int, default=0)
+    conversion_help = (
+        "lambda" if conversion_default is not None
+        else "lambda (default: the solution's fitted conversion)"
+    )
+    parser.add_argument(
+        "--conversion", type=float, default=conversion_default, help=conversion_help
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,14 +85,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bundle = sub.add_parser("bundle", help="run a bundling algorithm")
     bundle.add_argument("--algorithm", default="mixed_matching", choices=algorithm_names())
-    bundle.add_argument("--ratings", help="ratings CSV (user,item,rating)")
-    bundle.add_argument("--prices", help="prices CSV (item,price)")
-    bundle.add_argument("--users", type=int, default=400, help="synthetic users")
-    bundle.add_argument("--items", type=int, default=60, help="synthetic items")
-    bundle.add_argument("--seed", type=int, default=0)
-    bundle.add_argument("--conversion", type=float, default=1.25, help="lambda")
+    _add_dataset_arguments(bundle)
     bundle.add_argument("--theta", type=float, default=0.0)
     bundle.add_argument("--k", type=int, default=None, help="max bundle size")
+    bundle.add_argument(
+        "--save-solution", metavar="PATH", default=None,
+        help="persist the fitted solution (configuration + provenance + "
+             "metrics) as JSON for later `repro quote` serving",
+    )
     backend = bundle.add_argument_group("engine backend")
     backend.add_argument(
         "--precision", choices=("float64", "float32"), default=None,
@@ -97,6 +122,15 @@ def _build_parser() -> argparse.ArgumentParser:
              "default: the engine's auto resolution",
     )
 
+    quote = sub.add_parser(
+        "quote", help="price users against a saved solution (no re-fitting)"
+    )
+    quote.add_argument(
+        "--solution", required=True, metavar="PATH",
+        help="solution JSON written by `repro bundle --save-solution`",
+    )
+    _add_dataset_arguments(quote, conversion_default=None)
+
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("name", choices=EXPERIMENTS)
 
@@ -109,34 +143,67 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_bundle(args) -> int:
+def _load_dataset(args):
+    """The ratings dataset named by CSV flags or the synthetic fallback.
+
+    Returns ``None`` (after printing an error) when --ratings/--prices are
+    not given together.
+    """
     if bool(args.ratings) != bool(args.prices):
         print("error: --ratings and --prices must be given together", file=sys.stderr)
-        return 2
+        return None
     if args.ratings:
-        dataset = load_ratings_csv(args.ratings, args.prices)
-    else:
-        dataset = _synthetic(args.users, args.items, args.seed)
-    engine_kwargs = {}
+        return load_ratings_csv(args.ratings, args.prices)
+    return _synthetic(args.users, args.items, args.seed)
+
+
+def _engine_config(args) -> EngineConfig:
+    """Typed engine config from the CLI backend flags."""
+    config_kwargs = {"theta": args.theta, "n_workers": args.n_workers}
     if args.precision is not None:
-        engine_kwargs["precision"] = args.precision
+        config_kwargs["precision"] = args.precision
     if args.storage is not None:
-        engine_kwargs["storage"] = args.storage
+        config_kwargs["storage"] = args.storage
     if args.chunk_elements is not None:
         # 0 disables chunking (the engine's `None` convention).
-        engine_kwargs["chunk_elements"] = args.chunk_elements or None
+        config_kwargs["chunk_elements"] = args.chunk_elements or None
     if args.state_dtype is not None:
-        engine_kwargs["state_dtype"] = args.state_dtype
+        config_kwargs["state_dtype"] = args.state_dtype
     if args.mixed_kernel is not None:
-        engine_kwargs["mixed_kernel"] = args.mixed_kernel
-    engine = RevenueEngine(wtp_from_ratings(dataset, conversion=args.conversion),
-                           theta=args.theta, n_workers=args.n_workers,
-                           **engine_kwargs)
-    kwargs = {}
-    if args.k is not None and args.algorithm not in ("components",):
-        kwargs["k"] = args.k
-    result = make_algorithm(args.algorithm, **kwargs).fit(engine)
-    components = make_algorithm("components").fit(engine)
+        config_kwargs["mixed_kernel"] = args.mixed_kernel
+    return EngineConfig(**config_kwargs)
+
+
+def _command_bundle(args) -> int:
+    try:
+        dataset = _load_dataset(args)
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot load ratings: {exc}", file=sys.stderr)
+        return 2
+    if dataset is None:
+        return 2
+    engine_config = _engine_config(args)
+    algo_kwargs = {}
+    if args.k is not None:
+        if "k" not in algorithm_options(args.algorithm):
+            print(f"error: {args.algorithm} does not support --k", file=sys.stderr)
+            return 2
+        algo_kwargs["k"] = args.k
+    try:
+        solver = BundlingSolver(
+            AlgorithmSpec(args.algorithm, algo_kwargs), engine_config
+        )
+        # One shared engine: the Components baseline reuses the singleton
+        # pricings the main algorithm caches (and vice versa).
+        engine = engine_config.build(
+            wtp_from_ratings(dataset, conversion=args.conversion)
+        )
+        result = solver.fit_engine(engine, metadata={"conversion": args.conversion})
+        components = BundlingSolver("components", engine_config).fit_engine(engine)
+    except ReproError as exc:
+        # Bad option values (e.g. --k -1) surface at construction/fit time.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     print(f"dataset: {dataset.n_users} users x {dataset.n_items} items "
           f"({dataset.n_ratings} ratings)")
@@ -147,6 +214,60 @@ def _command_bundle(args) -> int:
     print(f"gain over components: {gain:+.2%}")
     print(f"bundle sizes: {result.configuration.size_histogram()}")
     print(f"iterations: {result.n_iterations}, wall time: {result.wall_time:.2f}s")
+    if args.save_solution:
+        try:
+            path = result.save(args.save_solution)
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot save solution to {args.save_solution}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"solution saved to {path}")
+    return 0
+
+
+def _command_quote(args) -> int:
+    try:
+        solution = BundlingSolution.load(args.solution)
+    except (OSError, ValueError, KeyError, ReproError) as exc:
+        print(f"error: cannot load solution {args.solution}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        dataset = _load_dataset(args)
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot load ratings: {exc}", file=sys.stderr)
+        return 2
+    if dataset is None:
+        return 2
+    # Default to the conversion lambda the solution was fitted with, so
+    # quoted users' WTP is on the same scale as the fit; an explicit
+    # --conversion overrides it.
+    conversion = args.conversion
+    if conversion is None:
+        conversion = solution.metadata.get("conversion")
+        if conversion is None:
+            # Solutions fitted outside the CLI may not record their lambda;
+            # quoting at a different scale than the fit is silently wrong,
+            # so say which default is being assumed.
+            print(
+                f"note: solution records no fitted conversion; assuming "
+                f"lambda={DEFAULT_LAMBDA} (pass --conversion to override)",
+                file=sys.stderr,
+            )
+            conversion = DEFAULT_LAMBDA
+    try:
+        # float() guards a non-numeric metadata value from another producer.
+        wtp = wtp_from_ratings(dataset, conversion=float(conversion))
+        quote = solution.quote(wtp)
+    except (ReproError, TypeError, ValueError) as exc:
+        print(f"error: cannot quote against {args.solution}: {exc}", file=sys.stderr)
+        return 2
+    print(f"solution: {solution.algorithm} ({solution.strategy}), "
+          f"{len(solution.configuration)} offers over {solution.n_items} items")
+    print(f"fitted expected revenue: {solution.expected_revenue:.2f}")
+    print(f"quoted users: {quote.n_users}")
+    print(f"expected revenue: {quote.revenue:.2f} (hex {float(quote.revenue).hex()})")
+    print(f"revenue per user: {quote.revenue_per_user:.4f}")
+    print(f"revenue coverage: {quote.coverage:.2%}")
     return 0
 
 
@@ -173,6 +294,8 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "bundle":
         return _command_bundle(args)
+    if args.command == "quote":
+        return _command_quote(args)
     if args.command == "experiment":
         return _command_experiment(args)
     return _command_generate(args)

@@ -1,11 +1,20 @@
-"""Name-based algorithm factory.
+"""Name-based algorithm factory with strict kwargs validation.
 
 The experiment harness refers to algorithms by the names the paper uses in
 its figures — ``"pure_matching"``, ``"mixed_greedy"``, and so on.  This
-registry maps those names to constructors.
+registry maps those names to (class, preset kwargs) entries and validates
+every caller-supplied kwarg against the algorithm's actual constructor
+signature: an unknown option raises :class:`ValidationError` instead of
+being silently swallowed (historically ``make_algorithm("components",
+k=3)`` dropped ``k`` on the floor) or surfacing as an opaque ``TypeError``.
+
+The same validation backs :class:`repro.api.AlgorithmSpec`, so a spec that
+constructs is a spec that builds.
 """
 
 from __future__ import annotations
+
+import inspect
 
 from repro.algorithms.base import MIXED, PURE, BundlingAlgorithm
 from repro.algorithms.components import Components
@@ -16,18 +25,19 @@ from repro.algorithms.matching_iterative import IterativeMatching
 from repro.algorithms.setpacking import GreedyWSP, OptimalWSP
 from repro.errors import ValidationError
 
-_FACTORIES = {
-    "components": lambda **kw: Components(),
-    "pure_matching": lambda **kw: IterativeMatching(strategy=PURE, **kw),
-    "mixed_matching": lambda **kw: IterativeMatching(strategy=MIXED, **kw),
-    "pure_greedy": lambda **kw: GreedyMerge(strategy=PURE, **kw),
-    "mixed_greedy": lambda **kw: GreedyMerge(strategy=MIXED, **kw),
-    "pure_matching2": lambda **kw: Optimal2Bundling(strategy=PURE, **kw),
-    "mixed_matching2": lambda **kw: Optimal2Bundling(strategy=MIXED, **kw),
-    "pure_freqitemset": lambda **kw: FreqItemsetBundling(strategy=PURE, **kw),
-    "mixed_freqitemset": lambda **kw: FreqItemsetBundling(strategy=MIXED, **kw),
-    "optimal_wsp": lambda **kw: OptimalWSP(**kw),
-    "greedy_wsp": lambda **kw: GreedyWSP(**kw),
+#: Registry name -> (algorithm class, preset constructor kwargs).
+_REGISTRY: dict[str, tuple[type[BundlingAlgorithm], dict]] = {
+    "components": (Components, {}),
+    "pure_matching": (IterativeMatching, {"strategy": PURE}),
+    "mixed_matching": (IterativeMatching, {"strategy": MIXED}),
+    "pure_greedy": (GreedyMerge, {"strategy": PURE}),
+    "mixed_greedy": (GreedyMerge, {"strategy": MIXED}),
+    "pure_matching2": (Optimal2Bundling, {"strategy": PURE}),
+    "mixed_matching2": (Optimal2Bundling, {"strategy": MIXED}),
+    "pure_freqitemset": (FreqItemsetBundling, {"strategy": PURE}),
+    "mixed_freqitemset": (FreqItemsetBundling, {"strategy": MIXED}),
+    "optimal_wsp": (OptimalWSP, {}),
+    "greedy_wsp": (GreedyWSP, {}),
 }
 
 #: The four algorithms the paper proposes (Section 6.1.3, "Our Methods").
@@ -39,14 +49,49 @@ BASELINE_METHODS = ("pure_freqitemset", "mixed_freqitemset")
 
 def algorithm_names() -> tuple[str, ...]:
     """All registered algorithm names."""
-    return tuple(sorted(_FACTORIES))
+    return tuple(sorted(_REGISTRY))
 
 
-def make_algorithm(name: str, **kwargs) -> BundlingAlgorithm:
-    """Instantiate an algorithm by its registry name."""
-    factory = _FACTORIES.get(name)
-    if factory is None:
+def _entry(name: str) -> tuple[type[BundlingAlgorithm], dict]:
+    entry = _REGISTRY.get(name)
+    if entry is None:
         raise ValidationError(
             f"unknown algorithm {name!r}; available: {', '.join(algorithm_names())}"
         )
-    return factory(**kwargs)
+    return entry
+
+
+def algorithm_options(name: str) -> tuple[str, ...]:
+    """Constructor kwargs the registry entry *name* accepts.
+
+    Preset kwargs (e.g. the ``strategy`` a ``pure_``/``mixed_`` entry pins)
+    are excluded — they belong to the registry name, not the caller.
+    """
+    cls, preset = _entry(name)
+    parameters = list(inspect.signature(cls.__init__).parameters.values())[1:]
+    return tuple(
+        parameter.name
+        for parameter in parameters
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        and parameter.name not in preset
+    )
+
+
+def validate_algorithm_kwargs(name: str, kwargs: dict) -> None:
+    """Raise :class:`ValidationError` on kwargs *name* does not accept."""
+    accepted = algorithm_options(name)
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        options = ", ".join(accepted) if accepted else "none"
+        raise ValidationError(
+            f"algorithm {name!r} does not accept option(s) "
+            f"{', '.join(repr(k) for k in unknown)}; accepted options: {options}"
+        )
+
+
+def make_algorithm(name: str, **kwargs) -> BundlingAlgorithm:
+    """Instantiate an algorithm by its registry name (kwargs validated)."""
+    cls, preset = _entry(name)
+    validate_algorithm_kwargs(name, kwargs)
+    return cls(**preset, **kwargs)

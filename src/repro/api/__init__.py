@@ -1,0 +1,40 @@
+"""Public fit/serve API: typed configs, solver facade, persistent solutions.
+
+The one entry point for using the system end to end:
+
+* :class:`EngineConfig` / :class:`AdoptionSpec` — validated, serializable
+  engine recipes (model parameters + performance backends);
+* :class:`AlgorithmSpec` — a registry algorithm name with
+  signature-validated kwargs;
+* :class:`BundlingSolver` — ``fit(wtp) -> BundlingSolution``;
+* :class:`BundlingSolution` — the durable artifact: configuration,
+  provenance, metrics; ``save``/``load`` (bit-exact JSON),
+  ``quote(new_user_wtp)`` and ``evaluate(engine)`` for serving.
+
+See EXPERIMENTS.md and the README "API" section for a worked example.
+"""
+
+from repro.api.config import (
+    ADOPTION_KINDS,
+    AdoptionSpec,
+    AlgorithmSpec,
+    EngineConfig,
+)
+from repro.api.solution import (
+    SOLUTION_FORMAT_VERSION,
+    BundlingSolution,
+    QuoteResult,
+)
+from repro.api.solver import DEFAULT_ALGORITHM, BundlingSolver
+
+__all__ = [
+    "ADOPTION_KINDS",
+    "AdoptionSpec",
+    "AlgorithmSpec",
+    "BundlingSolution",
+    "BundlingSolver",
+    "DEFAULT_ALGORITHM",
+    "EngineConfig",
+    "QuoteResult",
+    "SOLUTION_FORMAT_VERSION",
+]

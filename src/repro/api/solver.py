@@ -1,0 +1,148 @@
+"""The fit/serve facade: one public entry point for the whole pipeline.
+
+:class:`BundlingSolver` ties the typed configs to the algorithm registry
+and the solution artifact::
+
+    from repro.api import BundlingSolver, EngineConfig
+
+    solver = BundlingSolver("mixed_matching", EngineConfig(n_workers=4))
+    solution = solver.fit(wtp)            # offline: mine the configuration
+    solution.save("menu.json")            # durable artifact
+
+    solution = BundlingSolution.load("menu.json")
+    quote = solution.quote(new_user_wtp)  # online: price fresh consumers
+
+``fit`` builds a fresh engine from the :class:`EngineConfig`, runs the
+algorithm described by the :class:`AlgorithmSpec`, and packages the result
+— configuration, provenance, metrics, trace, timing — as a
+:class:`BundlingSolution`.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import AlgorithmSpec, EngineConfig
+from repro.api.solution import BundlingSolution
+from repro.core.wtp import WTPMatrix
+from repro.data.ratings import RatingsDataset
+from repro.errors import ValidationError
+
+#: Default algorithm: the paper's strongest heuristic (Algorithm 1, mixed).
+DEFAULT_ALGORITHM = "mixed_matching"
+
+
+class BundlingSolver:
+    """Fit a bundling configuration and return a persistent solution.
+
+    Parameters
+    ----------
+    algorithm:
+        An :class:`AlgorithmSpec`, a registry name string, or a spec payload
+        dict (default ``"mixed_matching"``).
+    engine_config:
+        An :class:`EngineConfig` (default: the Table 3 defaults — step
+        adoption, 100 price levels, θ=0, streaming backends).
+    """
+
+    def __init__(
+        self,
+        algorithm=DEFAULT_ALGORITHM,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        self.algorithm_spec = AlgorithmSpec.coerce(algorithm)
+        if engine_config is None:
+            engine_config = EngineConfig()
+        elif isinstance(engine_config, dict):
+            engine_config = EngineConfig.from_dict(engine_config)
+        elif not isinstance(engine_config, EngineConfig):
+            raise ValidationError(
+                "engine_config must be an EngineConfig or dict, got "
+                f"{type(engine_config).__name__}"
+            )
+        self.engine_config = engine_config
+
+    def fit(self, wtp, metadata: dict | None = None) -> BundlingSolution:
+        """Mine a configuration for *wtp* and package it as a solution.
+
+        ``wtp`` is anything :class:`WTPMatrix` accepts (matrix, dense array,
+        SciPy sparse).  ``metadata`` is carried verbatim into the solution
+        (merged over the fitted population's dimensions).
+        """
+        if not isinstance(wtp, WTPMatrix):
+            wtp = WTPMatrix(wtp)
+        return self.fit_engine(self.engine_config.build(wtp), metadata=metadata)
+
+    def fit_engine(self, engine, metadata: dict | None = None) -> BundlingSolution:
+        """:meth:`fit` on a pre-built engine (reusing its pricing caches).
+
+        The engine must come from this solver's :class:`EngineConfig`
+        (build it with ``solver.engine_config.build(wtp)``) — the config is
+        recorded as the solution's provenance, so a mismatched engine would
+        make ``quote`` rebuild a different serving engine than the fit ran
+        on.  That contract is verified: a mismatch raises
+        :class:`ValidationError` instead of silently recording wrong
+        provenance.  Useful when several solvers share one engine (e.g.
+        the CLI fits the main algorithm and the Components baseline on the
+        same engine, so singleton pricings are computed once).
+        """
+        self._check_engine_provenance(engine)
+        result = self.algorithm_spec.build().fit(engine)
+        stamped = {"fit_n_users": engine.n_users, "fit_n_items": engine.n_items}
+        stamped.update(metadata or {})
+        return BundlingSolution.from_result(
+            result, self.engine_config, self.algorithm_spec, metadata=stamped
+        )
+
+    def _check_engine_provenance(self, engine) -> None:
+        """Raise unless *engine* is what ``engine_config.build(wtp)`` yields.
+
+        Both sides are normalized to :meth:`EngineConfig.from_engine` form
+        and compared by dataclass equality, so a future config field is
+        covered automatically rather than silently excluded.
+        """
+        from dataclasses import replace
+
+        from repro.core.revenue import default_raw_cache_entries
+
+        config = self.engine_config
+        captured = EngineConfig.from_engine(engine)  # raises for exotic engines
+        default_cache = default_raw_cache_entries(engine.n_items)
+        # None wildcards ("keep the matrix as given", engine-side cache
+        # default) are satisfied by whatever the engine carries.
+        normalized = replace(
+            config,
+            precision=captured.precision if config.precision is None else config.precision,
+            storage=captured.storage if config.storage is None else config.storage,
+            state_dtype=config.state_dtype or "float64",
+            raw_cache_entries=config.raw_cache_entries or default_cache,
+        )
+        comparable = replace(
+            captured,
+            raw_cache_entries=captured.raw_cache_entries or default_cache,
+        )
+        if normalized != comparable:
+            raise ValidationError(
+                "fit_engine got an engine that does not match this solver's "
+                f"EngineConfig (engine: {captured}; config: {config}); build "
+                "it with solver.engine_config.build(wtp) or use fit()"
+            )
+
+    def fit_ratings(
+        self,
+        dataset: RatingsDataset,
+        conversion: float | None = None,
+        metadata: dict | None = None,
+    ) -> BundlingSolution:
+        """Convenience: ratings → WTP (Section 6.1.1 mapping) → :meth:`fit`."""
+        from repro.data.wtp_mapping import DEFAULT_LAMBDA, wtp_from_ratings
+
+        conversion = DEFAULT_LAMBDA if conversion is None else conversion
+        wtp = wtp_from_ratings(dataset, conversion=conversion)
+        stamped = {"conversion": float(conversion)}
+        stamped.update(metadata or {})
+        return self.fit(wtp, metadata=stamped)
+
+    def __repr__(self) -> str:
+        return (
+            f"BundlingSolver(algorithm={self.algorithm_spec.name!r}, "
+            f"engine_config={self.engine_config!r})"
+        )

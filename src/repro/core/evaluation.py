@@ -58,8 +58,34 @@ def revenue_gain(revenue: float, components_revenue: float) -> float:
 
 def expected_pure_revenue(config: PureConfiguration, engine: RevenueEngine) -> tuple[float, dict[Bundle, float]]:
     """Exact expected revenue of a pure configuration (disjoint offers)."""
+    total, buyers, _payments = _pure_pass(config, engine, with_payments=False)
+    return total, buyers
+
+
+def expected_pure_outcome(
+    config: PureConfiguration, engine: RevenueEngine
+) -> tuple[float, dict[Bundle, float], np.ndarray]:
+    """:func:`expected_pure_revenue` plus per-user expected payments.
+
+    Offers are disjoint, so each consumer's expected payment is the sum of
+    ``price · P(adopt)`` over the offers.  Both functions run the same
+    single pass (the payments accumulation never feeds the revenue total,
+    so the revenue's float result is identical), which is what keeps the
+    serving path (:meth:`repro.api.BundlingSolution.quote`) bit-exact with
+    the fitted expected revenue.
+    """
+    total, buyers, payments = _pure_pass(config, engine, with_payments=True)
+    assert payments is not None
+    return total, buyers, payments
+
+
+def _pure_pass(
+    config: PureConfiguration, engine: RevenueEngine, with_payments: bool
+) -> tuple[float, dict[Bundle, float], np.ndarray | None]:
+    """One pass over the disjoint offers; payments accumulated on demand."""
     total = 0.0
     buyers: dict[Bundle, float] = {}
+    payments = np.zeros(engine.n_users) if with_payments else None
     for offer in config.offers:
         if offer.price <= 0:
             buyers[offer.bundle] = 0.0
@@ -68,7 +94,9 @@ def expected_pure_revenue(config: PureConfiguration, engine: RevenueEngine) -> t
         count = float(probs.sum())
         buyers[offer.bundle] = count
         total += offer.price * count
-    return total, buyers
+        if payments is not None:
+            payments += offer.price * probs
+    return total, buyers, payments
 
 
 def sample_pure_revenue(config: PureConfiguration, engine: RevenueEngine, rng) -> float:

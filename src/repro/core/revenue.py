@@ -64,6 +64,16 @@ from repro.errors import PricingError, ValidationError
 from repro.utils.validation import check_fraction
 
 
+def default_raw_cache_entries(n_items: int) -> int:
+    """Default LRU capacity for per-bundle raw-WTP vectors.
+
+    Enough for every singleton plus a full set of live bundles, keeping
+    long runs memory-flat.  Shared with :meth:`repro.api.EngineConfig.
+    from_engine`, which must recognise an engine left on this default.
+    """
+    return max(2 * n_items, 128)
+
+
 @dataclass
 class EngineStats:
     """Operation counters for the efficiency experiments."""
@@ -208,7 +218,7 @@ class RevenueEngine:
         self.stats = EngineStats()
         self._price_cache: dict[Bundle, PricedBundle] = {}
         if raw_cache_entries is None:
-            raw_cache_entries = max(2 * wtp.n_items, 128)
+            raw_cache_entries = default_raw_cache_entries(wtp.n_items)
         self._raw_cache = LRUArrayCache(raw_cache_entries)
         self._item_bits: np.ndarray | None = None
 

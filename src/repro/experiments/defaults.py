@@ -20,7 +20,6 @@ for the scale discussion.
 from __future__ import annotations
 
 from repro.core.adoption import StepAdoption
-from repro.core.pricing import PriceGrid
 from repro.core.revenue import RevenueEngine
 from repro.core.wtp import WTPMatrix
 from repro.data.ratings import RatingsDataset
@@ -68,18 +67,78 @@ def default_engine(
 ) -> RevenueEngine:
     """Engine under the Table 3 defaults (step adoption, 100 levels).
 
-    Extra keyword arguments pass straight to
-    :class:`~repro.core.revenue.RevenueEngine`, so experiment scripts can
-    sweep backends (``precision=``, ``storage=``, ``chunk_elements=``,
-    ``n_workers=``, ``state_dtype=``, ``mixed_kernel=``) without
-    rebuilding the defaults.  The default engine resolves
-    ``mixed_kernel="auto"`` to the sorted prefix-sum kernel (step adoption
-    is deterministic); the golden snapshot is produced on that path.
+    .. deprecated::
+        This is a thin shim over :class:`repro.api.EngineConfig` — the
+        typed, validated, serializable engine recipe that new code should
+        construct directly (``EngineConfig(...).build(wtp)``).  The shim
+        routes the legacy ``**engine_kwargs`` (``precision=``,
+        ``storage=``, ``chunk_elements=``, ``n_workers=``,
+        ``state_dtype=``, ``mixed_kernel=``, ``raw_cache_entries=``)
+        through the config, so unknown knobs now fail validation instead
+        of reaching :class:`RevenueEngine` as a ``TypeError``.
+
+    The default engine resolves ``mixed_kernel="auto"`` to the sorted
+    prefix-sum kernel (step adoption is deterministic); the golden
+    snapshot is produced on that path.
+
+    Values the config schema cannot describe — a custom
+    :class:`AdoptionModel` subclass, an explicit ``grid=`` or
+    ``objective=`` — keep their historical pass-through to
+    :class:`RevenueEngine` (the backend knobs are still config-validated).
     """
+    from repro.api.config import AdoptionSpec, EngineConfig
+    from repro.core.adoption import SigmoidAdoption
+    from repro.core.pricing import PriceGrid
+    from repro.errors import ValidationError
+
+    extras = {
+        key: engine_kwargs.pop(key)
+        for key in ("grid", "objective")
+        if key in engine_kwargs
+    }
+    if extras.get("grid") is not None and n_levels != PRICE_LEVELS:
+        # Historically grid= next to a conflicting n_levels could not
+        # happen (both reached RevenueEngine's single grid parameter only
+        # via separate call sites); refuse rather than pick one silently.
+        raise ValidationError(
+            "pass either grid= or n_levels=, not both"
+        )
+    adoption = adoption or StepAdoption()
+    # Only exact Step/Sigmoid instances are losslessly describable by an
+    # AdoptionSpec; a subclass (overridden behaviour) must reach the engine
+    # untouched, not be rebuilt as its base class.
+    describable = type(adoption) in (StepAdoption, SigmoidAdoption)
+    try:
+        config = EngineConfig(
+            theta=theta,
+            n_levels=n_levels,
+            adoption=(
+                AdoptionSpec.from_model(adoption) if describable else AdoptionSpec()
+            ),
+            **engine_kwargs,
+        )
+    except TypeError as exc:
+        # Unknown legacy kwargs used to surface as a TypeError deep inside
+        # RevenueEngine; the typed config turns them into validation errors.
+        # Other TypeErrors (bad values for known options) propagate as-is.
+        if "unexpected keyword argument" not in str(exc):
+            raise
+        raise ValidationError(f"unknown engine option: {exc}") from exc
+    if describable and not extras:
+        return config.build(wtp)
+    # Escape hatch: construct directly, engine-side validation applying to
+    # the real adoption/grid combination.
     return RevenueEngine(
         wtp,
-        theta=theta,
-        adoption=adoption or StepAdoption(),
-        grid=PriceGrid(n_levels=n_levels),
-        **engine_kwargs,
+        theta=config.theta,
+        adoption=adoption,
+        grid=extras.get("grid") or PriceGrid(n_levels=config.n_levels),
+        objective=extras.get("objective"),
+        chunk_elements=config.chunk_elements,
+        precision=config.precision,
+        storage=config.storage,
+        raw_cache_entries=config.raw_cache_entries,
+        n_workers=config.n_workers,
+        state_dtype=config.state_dtype,
+        mixed_kernel=config.mixed_kernel,
     )

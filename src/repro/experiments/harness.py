@@ -1,9 +1,15 @@
 """Shared machinery for running method sweeps (Section 6 experiments).
 
-An *experiment* runs a set of named algorithms against engines built for a
-sweep of parameter values, and collects the paper's two effectiveness
-metrics (revenue coverage and revenue gain over Components; Section 6.1.2)
-plus timing and iteration counts.
+An *experiment* runs a set of algorithms against engines built for a sweep
+of parameter values, and collects the paper's two effectiveness metrics
+(revenue coverage and revenue gain over Components; Section 6.1.2) plus
+timing and iteration counts.
+
+Algorithms are described by :class:`repro.api.AlgorithmSpec` values —
+``methods`` entries may be specs or bare registry names.  The historical
+``algo_kwargs`` dict (method name → constructor kwargs, ``"*"`` shared) is
+kept as a deprecated shim and folded into specs internally, so old call
+sites keep working while gaining the specs' kwargs validation.
 """
 
 from __future__ import annotations
@@ -11,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algorithms.base import BundlingResult
-from repro.algorithms.registry import make_algorithm
+from repro.api.config import AlgorithmSpec
 from repro.core.evaluation import revenue_gain
+from repro.errors import ValidationError
 from repro.core.revenue import RevenueEngine
 from repro.utils.timer import Timer
 
@@ -41,6 +48,51 @@ class MethodRun:
     result: BundlingResult = field(repr=False, compare=False)
 
 
+def resolve_specs(methods, algo_kwargs: dict | None = None) -> list[AlgorithmSpec]:
+    """Normalize *methods* (names and/or specs) to :class:`AlgorithmSpec`.
+
+    ``algo_kwargs`` is the deprecated pre-spec shim: method name → extra
+    constructor kwargs, with ``"*"`` applying to every non-Components name.
+    Kwargs only attach to bare names *present in methods* — spec entries
+    already carry theirs, so the broadcast ``"*"`` bundle never touches a
+    spec entry, and keying a spec entry's name explicitly raises (the
+    targeted kwargs would otherwise be silently ignored).  A key whose
+    method is absent from ``methods`` is ignored, as it always was; keying
+    a listed ``"components"`` (which takes no options) raises, where
+    historically it was silently ignored.
+    """
+    algo_kwargs = algo_kwargs or {}
+    shared = algo_kwargs.get("*", {})
+    specs: list[AlgorithmSpec] = []
+    seen: dict[str, AlgorithmSpec] = {}
+    for method in methods:
+        if isinstance(method, AlgorithmSpec):
+            # A spec entry already carries its kwargs; an algo_kwargs key
+            # aimed at it would be silently ignored — refuse instead.
+            if method.name in algo_kwargs:
+                raise ValidationError(
+                    f"algo_kwargs[{method.name!r}] targets a method passed as "
+                    "an AlgorithmSpec; put the kwargs in the spec itself"
+                )
+            spec = method
+        else:
+            kwargs = {} if method == "components" else dict(shared)
+            kwargs.update(algo_kwargs.get(method, {}))
+            spec = AlgorithmSpec(method, kwargs)
+        # Runs are keyed by name, so a same-name spec with *different*
+        # kwargs would be silently dropped — refuse instead.  (Identical
+        # duplicates keep the historical skip behaviour.)
+        previous = seen.get(spec.name)
+        if previous is not None and previous != spec:
+            raise ValidationError(
+                f"two different specs for algorithm {spec.name!r}: "
+                f"{previous.kwargs} vs {spec.kwargs}; runs are keyed by name"
+            )
+        seen[spec.name] = spec
+        specs.append(spec)
+    return specs
+
+
 def run_methods(
     engine: RevenueEngine,
     methods=FIGURE_METHODS,
@@ -48,15 +100,15 @@ def run_methods(
 ) -> dict[str, MethodRun]:
     """Run each method on *engine*; gains are against Components.
 
-    ``algo_kwargs`` maps method name → extra constructor kwargs (e.g.
-    ``{"pure_matching": {"k": 3}}``); ``"*"`` applies to every non-baseline
-    method.
+    ``methods`` may mix registry names and :class:`AlgorithmSpec` values;
+    see :func:`resolve_specs` for how the deprecated ``algo_kwargs`` dict
+    is folded in.  The Components baseline always runs (first), and every
+    spec's kwargs are validated before anything is fitted.
     """
-    algo_kwargs = algo_kwargs or {}
-    shared = algo_kwargs.get("*", {})
+    specs = resolve_specs(methods, algo_kwargs)
     runs: dict[str, MethodRun] = {}
 
-    components = make_algorithm("components").fit(engine)
+    components = AlgorithmSpec("components").build().fit(engine)
     base_revenue = components.expected_revenue
     runs["components"] = MethodRun(
         method="components",
@@ -67,15 +119,13 @@ def run_methods(
         iterations=0,
         result=components,
     )
-    for name in methods:
-        if name == "components" or name in runs:
+    for spec in specs:
+        if spec.name == "components" or spec.name in runs:
             continue
-        kwargs = dict(shared)
-        kwargs.update(algo_kwargs.get(name, {}))
         with Timer() as timer:
-            result = make_algorithm(name, **kwargs).fit(engine)
-        runs[name] = MethodRun(
-            method=name,
+            result = spec.build().fit(engine)
+        runs[spec.name] = MethodRun(
+            method=spec.name,
             revenue=result.expected_revenue,
             coverage=result.coverage,
             gain=revenue_gain(result.expected_revenue, base_revenue),

@@ -233,3 +233,33 @@ class TestRegistry:
     def test_kwargs_forwarding(self):
         algo = make_algorithm("pure_matching", k=3)
         assert algo.k == 3
+
+    def test_unknown_kwargs_raise_for_every_entry(self):
+        """No registry entry may silently swallow an unknown option.
+
+        Historically ``make_algorithm("components", k=3)`` dropped ``k`` on
+        the floor (``lambda **kw: Components()``); now every entry validates
+        caller kwargs against the constructor signature.
+        """
+        for name in algorithm_names():
+            with pytest.raises(ValidationError, match="does not accept"):
+                make_algorithm(name, definitely_not_an_option=1)
+
+    def test_components_rejects_k(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            make_algorithm("components", k=3)
+
+    def test_preset_kwargs_not_overridable(self):
+        """The strategy a pure_/mixed_ name pins is not a caller option."""
+        with pytest.raises(ValidationError, match="does not accept"):
+            make_algorithm("pure_matching", strategy="mixed")
+
+    def test_algorithm_options_reflect_signatures(self):
+        from repro.algorithms.registry import algorithm_options
+
+        assert algorithm_options("components") == ()
+        assert "k" in algorithm_options("pure_matching")
+        assert "strategy" not in algorithm_options("pure_matching")
+        assert "minsup" in algorithm_options("mixed_freqitemset")
+        with pytest.raises(ValidationError, match="unknown algorithm"):
+            algorithm_options("quantum_bundling")

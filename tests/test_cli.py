@@ -111,6 +111,140 @@ class TestBundleCommand:
         assert outputs[0] == outputs[1]
 
 
+class TestSolutionRoundTripCLI:
+    """bundle --save-solution + quote: the CLI-level fit/serve round trip."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path, capsys):
+        ratings = tmp_path / "r.csv"
+        prices = tmp_path / "p.csv"
+        solution = tmp_path / "menu.json"
+        assert main(["generate", "--users", "80", "--items", "12", "--seed", "1",
+                     "--out-ratings", str(ratings), "--out-prices", str(prices)]) == 0
+        assert main(["bundle", "--ratings", str(ratings), "--prices", str(prices),
+                     "--algorithm", "mixed_greedy",
+                     "--save-solution", str(solution)]) == 0
+        out = capsys.readouterr().out
+        assert f"solution saved to {solution}" in out
+        return ratings, prices, solution
+
+    def test_quote_reproduces_fitted_revenue_bit_exactly(self, saved, capsys):
+        import json
+
+        ratings, prices, solution = saved
+        stored = json.loads(solution.read_text())
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", str(ratings), "--prices", str(prices)]) == 0
+        out = capsys.readouterr().out
+        hex_line = next(l for l in out.splitlines()
+                        if l.startswith("expected revenue"))
+        quoted_hex = hex_line.split("hex ")[1].rstrip(")")
+        assert quoted_hex == stored["metrics"]["expected_revenue_hex"]
+
+    def test_quote_runs_no_bundling_algorithm(self, saved, capsys, monkeypatch):
+        from repro.algorithms.base import BundlingAlgorithm
+
+        ratings, prices, solution = saved
+
+        def boom(self, engine):
+            raise AssertionError("quote must not run a bundling algorithm")
+
+        monkeypatch.setattr(BundlingAlgorithm, "fit", boom)
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", str(ratings), "--prices", str(prices)]) == 0
+        assert "quoted users: 80" in capsys.readouterr().out
+
+    def test_quote_mismatched_csv_flags(self, saved, capsys):
+        _, _, solution = saved
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", "only.csv"]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_quote_missing_solution_file(self, tmp_path, capsys):
+        assert main(["quote", "--solution", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load solution" in capsys.readouterr().err
+
+    def test_quote_missing_ratings_csv_is_a_cli_error(self, saved, tmp_path, capsys):
+        _, prices, solution = saved
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", str(tmp_path / "missing.csv"),
+                     "--prices", str(prices)]) == 2
+        assert "cannot load ratings" in capsys.readouterr().err
+
+    def test_quote_non_numeric_metadata_conversion_is_a_cli_error(self, saved, capsys):
+        import json
+
+        ratings, prices, solution = saved
+        payload = json.loads(solution.read_text())
+        payload["metadata"]["conversion"] = "high"
+        solution.write_text(json.dumps(payload))
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", str(ratings), "--prices", str(prices)]) == 2
+        assert "cannot quote" in capsys.readouterr().err
+
+    def test_quote_warns_when_no_fitted_conversion_recorded(self, saved, capsys):
+        import json
+
+        ratings, prices, solution = saved
+        payload = json.loads(solution.read_text())
+        del payload["metadata"]["conversion"]
+        solution.write_text(json.dumps(payload))
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", str(ratings), "--prices", str(prices)]) == 0
+        err = capsys.readouterr().err
+        assert "records no fitted conversion" in err
+
+    def test_save_solution_bad_path_is_a_cli_error(self, tmp_path, capsys):
+        assert main(["bundle", "--algorithm", "pure_greedy", "--users", "60",
+                     "--items", "10",
+                     "--save-solution", str(tmp_path / "no_dir" / "m.json")]) == 2
+        assert "cannot save solution" in capsys.readouterr().err
+
+    def test_quote_catalogue_mismatch_is_a_cli_error(self, saved, tmp_path, capsys):
+        ratings, prices, solution = saved
+        other_r = tmp_path / "other_r.csv"
+        other_p = tmp_path / "other_p.csv"
+        assert main(["generate", "--users", "60", "--items", "8", "--seed", "2",
+                     "--out-ratings", str(other_r), "--out-prices", str(other_p)]) == 0
+        capsys.readouterr()
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", str(other_r), "--prices", str(other_p)]) == 2
+        assert "cannot quote" in capsys.readouterr().err
+
+    def test_quote_defaults_to_fitted_conversion(self, tmp_path, capsys):
+        """A solution fitted at a non-default lambda is served at that lambda."""
+        import json
+
+        ratings = tmp_path / "r.csv"
+        prices = tmp_path / "p.csv"
+        solution = tmp_path / "menu.json"
+        assert main(["generate", "--users", "80", "--items", "12", "--seed", "1",
+                     "--out-ratings", str(ratings), "--out-prices", str(prices)]) == 0
+        assert main(["bundle", "--ratings", str(ratings), "--prices", str(prices),
+                     "--algorithm", "pure_greedy", "--conversion", "2.0",
+                     "--save-solution", str(solution)]) == 0
+        capsys.readouterr()
+        stored = json.loads(solution.read_text())
+        assert stored["metadata"]["conversion"] == 2.0
+        assert main(["quote", "--solution", str(solution),
+                     "--ratings", str(ratings), "--prices", str(prices)]) == 0
+        out = capsys.readouterr().out
+        hex_line = next(l for l in out.splitlines()
+                        if l.startswith("expected revenue"))
+        assert hex_line.split("hex ")[1].rstrip(")") == \
+            stored["metrics"]["expected_revenue_hex"]
+
+    def test_invalid_k_value_is_a_cli_error(self, capsys):
+        assert main(["bundle", "--algorithm", "mixed_greedy", "--users", "60",
+                     "--items", "10", "--k", "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_k_unsupported_algorithm_rejected(self, capsys):
+        assert main(["bundle", "--algorithm", "pure_matching2", "--users", "60",
+                     "--items", "10", "--k", "2"]) == 2
+        assert "does not support --k" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0

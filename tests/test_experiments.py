@@ -64,6 +64,33 @@ class TestHarness:
         runs = run_methods(engine, ("pure_greedy",), algo_kwargs={"*": {"k": 2}})
         assert runs["pure_greedy"].result.configuration.max_bundle_size <= 2
 
+    def test_run_methods_accepts_specs(self, small_wtp):
+        from repro.api import AlgorithmSpec
+
+        engine = RevenueEngine(small_wtp)
+        runs = run_methods(engine, (AlgorithmSpec("pure_greedy", {"k": 2}),))
+        assert set(runs) == {"components", "pure_greedy"}
+        assert runs["pure_greedy"].result.configuration.max_bundle_size <= 2
+
+    def test_run_methods_rejects_conflicting_same_name_specs(self, small_wtp):
+        from repro.api import AlgorithmSpec
+        from repro.errors import ValidationError
+
+        engine = RevenueEngine(small_wtp)
+        with pytest.raises(ValidationError, match="keyed by name"):
+            run_methods(
+                engine,
+                (AlgorithmSpec("pure_greedy", {"k": 2}),
+                 AlgorithmSpec("pure_greedy", {"k": 3})),
+            )
+
+    def test_run_methods_validates_kwargs_before_fitting(self, small_wtp):
+        from repro.errors import ValidationError
+
+        engine = RevenueEngine(small_wtp)
+        with pytest.raises(ValidationError, match="does not accept"):
+            run_methods(engine, ("pure_greedy",), algo_kwargs={"pure_greedy": {"nope": 1}})
+
     def test_sweep_engines_shapes(self, small_wtp):
         sweep = sweep_engines(
             "theta",
@@ -86,6 +113,41 @@ class TestDefaults:
         assert engine.theta == 0.0
         assert engine.adoption.is_deterministic
         assert engine.grid.n_levels == 100
+
+    def test_default_engine_passes_adoption_subclasses_through(self, small_wtp):
+        """The shim must not rebuild a subclass as its base class."""
+        from repro.core.adoption import StepAdoption
+
+        class TracingStep(StepAdoption):
+            pass
+
+        adoption = TracingStep(alpha=1.5)
+        engine = default_engine(small_wtp, adoption=adoption)
+        assert engine.adoption is adoption
+
+    def test_default_engine_accepts_grid_and_objective(self, small_wtp):
+        """grid=/objective= keep their historical pass-through."""
+        from repro.core.pricing import PriceGrid
+        from repro.core.revenue import Objective
+
+        grid = PriceGrid(n_levels=7)
+        objective = Objective(profit_weight=1.0)
+        engine = default_engine(small_wtp, grid=grid, objective=objective)
+        assert engine.grid is grid
+        assert engine.objective is objective
+
+    def test_default_engine_rejects_unknown_options(self, small_wtp):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="unknown engine option"):
+            default_engine(small_wtp, bogus_option=1)
+
+    def test_default_engine_rejects_grid_n_levels_conflict(self, small_wtp):
+        from repro.core.pricing import PriceGrid
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="not both"):
+            default_engine(small_wtp, n_levels=50, grid=PriceGrid(n_levels=7))
 
     def test_bench_wtp_uses_lambda(self):
         ds = bench_dataset(n_users=200, n_items=30)
