@@ -1,0 +1,195 @@
+"""CI perf-smoke gate: the process executor must actually be faster.
+
+The committed ``BENCH_scalability.json`` was recorded on a 1-CPU container,
+where every "parallel" ratio measures overhead rather than parallelism
+(``summary.parallel_vs_serial`` is 1.03×).  GitHub-hosted runners have
+multiple cores, so CI is where a genuine multi-core speedup can be
+*measured and gated*.  This script runs the two O(M·N²) pair scans — one
+pure, one mixed — once serially and once under
+``executor="process", n_workers=W`` on a cloned Figure-7a workload, then:
+
+* asserts the scans' results are **bit-identical** (every gain, price,
+  upgrade count, and feasibility flag — stricter than comparing revenue);
+* asserts the combined wall-clock speedup is at least ``--min-speedup``
+  (default 1.2×);
+* writes a JSON report (uploaded as a CI artifact) either way.
+
+With fewer than two available cores the gate cannot mean anything, so the
+script prints a skip notice, records ``"skipped"`` in the report, and
+exits 0 — the skip is visible in the artifact, not silent.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --n-workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.api import EngineConfig
+from repro.core.kernels import available_cpus
+from repro.data.synthetic import amazon_books_like
+from repro.data.wtp_mapping import wtp_from_ratings
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "perf_smoke.json"
+
+
+def run_scans(config: EngineConfig, wtp) -> dict:
+    """Time one pure and one mixed pair scan under *config*.
+
+    Engine construction, singleton pricing, co-support pruning, and state
+    building are untimed prep: the gate measures the scans the executor
+    actually parallelizes.  Returns wall times plus the full per-pair
+    results for bit-identity checks.
+    """
+    engine = config.build(wtp)
+    singles = engine.price_components()
+    pairs = engine.co_supported_pairs([offer.bundle for offer in singles])
+
+    started = time.perf_counter()
+    gains, merged = engine.pure_merge_gains(singles, pairs)
+    pure_wall = time.perf_counter() - started
+
+    states = [engine.offer_state(offer) for offer in singles]
+    started = time.perf_counter()
+    merges = engine.mixed_merge_gains(singles, states, pairs)
+    mixed_wall = time.perf_counter() - started
+
+    return {
+        "executor": config.executor,
+        "n_workers": config.n_workers,
+        "n_pairs": len(pairs),
+        "pure_wall_seconds": round(pure_wall, 4),
+        "mixed_wall_seconds": round(mixed_wall, 4),
+        "total_wall_seconds": round(pure_wall + mixed_wall, 4),
+        "pure_results": [
+            (float(gain), offer.price, offer.revenue, offer.buyers)
+            for gain, offer in zip(gains, merged)
+        ],
+        "mixed_results": [
+            (merge.price, merge.gain, merge.upgraded, merge.feasible)
+            for merge in merges
+        ],
+    }
+
+
+def build_report(args) -> tuple[dict, int]:
+    """The perf-smoke report plus the process exit code."""
+    cpu_count = available_cpus()
+    report = {
+        "benchmark": "perf-smoke (process executor vs serial, pair scans)",
+        "base": {"n_users": 400, "n_items": 60, "seed": 2},
+        "clone_factor": args.factor,
+        "n_workers": args.n_workers,
+        "min_speedup": args.min_speedup,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": cpu_count,
+        },
+    }
+    if cpu_count < 2:
+        report["skipped"] = (
+            f"only {cpu_count} CPU available - a process-vs-serial speedup "
+            "gate is meaningless without a second core"
+        )
+        print(f"SKIP: {report['skipped']}")
+        return report, 0
+
+    dataset = amazon_books_like(n_users=400, n_items=60, seed=2)
+    wtp = wtp_from_ratings(dataset, conversion=1.25).clone_users(args.factor)
+    report["n_users"] = wtp.n_users
+
+    serial = run_scans(EngineConfig(executor="serial"), wtp)
+    process = run_scans(EngineConfig(executor="process", n_workers=args.n_workers), wtp)
+
+    identical = (
+        serial["pure_results"] == process["pure_results"]
+        and serial["mixed_results"] == process["mixed_results"]
+    )
+    if not identical:
+        # Keep evidence in the artifact: the first diverging pairs per
+        # workload (the full vectors are dropped below to keep it small).
+        report["divergences"] = {
+            workload: [
+                {"pair_index": k, "serial": s, "process": p}
+                for k, (s, p) in enumerate(
+                    zip(serial[f"{workload}_results"], process[f"{workload}_results"])
+                )
+                if s != p
+            ][:10]
+            for workload in ("pure", "mixed")
+        }
+    speedup = {
+        "pure": serial["pure_wall_seconds"]
+        / max(process["pure_wall_seconds"], 1e-9),
+        "mixed": serial["mixed_wall_seconds"]
+        / max(process["mixed_wall_seconds"], 1e-9),
+        "combined": serial["total_wall_seconds"]
+        / max(process["total_wall_seconds"], 1e-9),
+    }
+    passed = identical and speedup["combined"] >= args.min_speedup
+
+    for cell in (serial, process):
+        # The full result vectors verified above are too bulky for the
+        # artifact; keep a compact revenue checksum per cell instead.
+        cell["pure_revenue_sum"] = sum(r[2] for r in cell.pop("pure_results"))
+        cell["mixed_gain_sum"] = sum(r[1] for r in cell.pop("mixed_results") if r[3])
+    report["cells"] = [serial, process]
+    report["summary"] = {
+        "results_bit_identical": identical,
+        "pure_speedup_x": round(speedup["pure"], 2),
+        "mixed_speedup_x": round(speedup["mixed"], 2),
+        "combined_speedup_x": round(speedup["combined"], 2),
+        "gate": f"combined >= {args.min_speedup}x and bit-identical results",
+        "passed": passed,
+    }
+    print(json.dumps(report["summary"], indent=1))
+    if not identical:
+        print("FAIL: process results differ from serial", file=sys.stderr)
+    elif not passed:
+        print(
+            f"FAIL: combined speedup {speedup['combined']:.2f}x is below the "
+            f"{args.min_speedup}x gate",
+            file=sys.stderr,
+        )
+    return report, 0 if passed else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--factor",
+        type=int,
+        default=250,
+        help="clone factor for the Figure-7a base workload (250 = 100k users)",
+    )
+    parser.add_argument(
+        "--n-workers",
+        type=int,
+        default=2,
+        help="process-executor worker count (default 2: the minimum that "
+        "can demonstrate parallelism)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.2,
+        help="required combined wall-clock speedup over serial",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    report, code = build_report(args)
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

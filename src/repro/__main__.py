@@ -24,6 +24,7 @@ Examples
     python -m repro bundle --algorithm mixed_matching --users 400 --items 60
     python -m repro bundle --ratings r.csv --prices p.csv --algorithm pure_greedy
     python -m repro bundle --storage sparse --precision float32 --n-workers 4
+    python -m repro bundle --executor process --n-workers 4
     python -m repro bundle --algorithm mixed_greedy --save-solution menu.json
     python -m repro quote --solution menu.json --ratings new_users.csv --prices p.csv
     python -m repro experiment table2
@@ -109,7 +110,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     backend.add_argument(
         "--n-workers", type=int, default=1, metavar="W",
-        help="worker threads for the streaming pair scans (default 1)",
+        help="workers for the streaming pair scans (default 1)",
+    )
+    backend.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default=None,
+        help="scan execution backend: thread (default; GIL-bound fill), "
+             "process (shared-memory workers, real multi-core scaling), "
+             "serial (force in-order execution)",
     )
     backend.add_argument(
         "--state-dtype", choices=("float64", "float32"), default=None,
@@ -160,6 +167,16 @@ def _load_dataset(args):
 def _engine_config(args) -> EngineConfig:
     """Typed engine config from the CLI backend flags."""
     config_kwargs = {"theta": args.theta, "n_workers": args.n_workers}
+    if args.executor is not None:
+        config_kwargs["executor"] = args.executor
+        if args.executor == "process" and args.n_workers <= 1:
+            # The process executor only engages with >1 worker; say so
+            # instead of silently running the serial scan.
+            print(
+                "note: --executor process needs --n-workers >= 2 to engage; "
+                "running serial",
+                file=sys.stderr,
+            )
     if args.precision is not None:
         config_kwargs["precision"] = args.precision
     if args.storage is not None:

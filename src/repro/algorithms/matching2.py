@@ -17,7 +17,6 @@ component joins at most one bundle (Problem 2's laminarity).
 from __future__ import annotations
 
 from repro.algorithms.base import (
-    MIXED,
     PURE,
     BundlingAlgorithm,
     BundlingResult,

@@ -40,6 +40,7 @@ from repro.core.adoption import AdoptionModel, SigmoidAdoption, StepAdoption
 from repro.core.kernels import (
     DEFAULT_CHUNK_ELEMENTS,
     check_chunk_elements,
+    check_executor,
     check_n_workers,
 )
 from repro.core.pricing import (
@@ -174,8 +175,10 @@ class EngineConfig:
     ------------------------------------------------------------------
     ``precision``/``storage`` override the WTP backend (``None`` keeps the
     matrix as given); ``chunk_elements`` budgets the streaming buffers
-    (``None`` disables chunking); ``n_workers`` fans chunk scans over a
-    thread pool; ``state_dtype`` stores mixed-strategy subtree states in
+    (``None`` disables chunking); ``n_workers`` fans chunk scans out over
+    ``executor`` workers (``"thread"`` default, ``"process"`` for
+    shared-memory multi-core scans, ``"serial"`` to force in-order
+    execution); ``state_dtype`` stores mixed-strategy subtree states in
     float32; ``mixed_kernel`` selects the mixed-merge pricing kernel;
     ``raw_cache_entries`` caps the raw-WTP LRU cache (``None`` uses the
     engine's per-catalogue default).
@@ -188,6 +191,7 @@ class EngineConfig:
     storage: str | None = None
     chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS
     n_workers: int = 1
+    executor: str = "thread"
     state_dtype: str | None = None
     mixed_kernel: str = "auto"
     raw_cache_entries: int | None = None
@@ -215,6 +219,7 @@ class EngineConfig:
             self, "chunk_elements", check_chunk_elements(self.chunk_elements)
         )
         object.__setattr__(self, "n_workers", check_n_workers(self.n_workers))
+        object.__setattr__(self, "executor", check_executor(self.executor))
         object.__setattr__(
             self, "mixed_kernel", check_mixed_kernel(self.mixed_kernel)
         )
@@ -246,6 +251,7 @@ class EngineConfig:
             storage=self.storage,
             raw_cache_entries=self.raw_cache_entries,
             n_workers=self.n_workers,
+            executor=self.executor,
             state_dtype=self.state_dtype,
             mixed_kernel=self.mixed_kernel,
         )
@@ -281,6 +287,7 @@ class EngineConfig:
             storage=engine.wtp.storage,
             chunk_elements=engine.chunk_elements,
             n_workers=engine.n_workers,
+            executor=engine.executor,
             state_dtype=engine.state_dtype.name,
             mixed_kernel=engine.mixed_kernel,
             raw_cache_entries=None if cache_entries == default_cache else cache_entries,
@@ -296,6 +303,7 @@ class EngineConfig:
             "storage": self.storage,
             "chunk_elements": self.chunk_elements,
             "n_workers": self.n_workers,
+            "executor": self.executor,
             "state_dtype": self.state_dtype,
             "mixed_kernel": self.mixed_kernel,
             "raw_cache_entries": self.raw_cache_entries,

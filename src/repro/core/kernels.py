@@ -19,15 +19,34 @@ per-chunk temporaries), independent of how many candidates are scanned.
 Parallel execution
 ------------------
 The chunk loop is embarrassingly parallel: chunks touch disjoint output
-slices and numpy releases the GIL inside the pricing kernels.  With
-``n_workers > 1`` the chunks fan out over a ``ThreadPoolExecutor``; every
-worker owns a private fill buffer and processes a strided subset of the
-*same* chunk schedule the serial scan would use, so results stay
-bit-identical to the serial scan for any worker count — only wall clock
-and peak memory (one buffer set per worker) change.  Fill callbacks run
-concurrently and must therefore be thread-safe; the engine's raw-WTP cache
-(:class:`LRUArrayCache`) takes a lock around its bookkeeping for exactly
-this reason.
+slices and numpy releases the GIL inside the pricing kernels.  The
+``executor`` option selects how the *same* chunk schedule is executed:
+
+``"serial"``
+    One buffer set, chunks in order — the reference execution.
+``"thread"`` (default)
+    With ``n_workers > 1`` the chunks fan out over a
+    ``ThreadPoolExecutor``; every worker owns a private fill buffer and
+    processes a strided subset of the serial schedule.  Fill callbacks run
+    concurrently and must be thread-safe; the engine's raw-WTP cache
+    (:class:`LRUArrayCache`) takes a lock around its bookkeeping for
+    exactly this reason.  Speedup is capped by the GIL-free fraction of
+    the scan (the numpy kernels release it, the Python-level fill work
+    does not).
+``"process"``
+    Chunk subsets fan out over a spawn-based ``ProcessPoolExecutor`` for
+    real multi-core scaling.  The fill callback must then be *picklable*
+    (the engine stages its scan inputs in shared memory and passes the
+    :mod:`repro.core.shm` fill objects); each worker process allocates its
+    own buffers, prices its chunk subset, and ships back only the O(width)
+    per-chunk result vectors, which the parent scatters into the output
+    arrays.  ``REPRO_EXECUTOR_START_METHOD`` overrides the start method
+    (default ``spawn`` — fork is unsafe under live threads).
+
+Because the chunk schedule never depends on ``n_workers`` or ``executor``,
+and every chunk's pricing is column-independent and internally reduced
+through fixed-tree sums, all three executors produce bit-identical results
+for any worker count and chunk budget.
 
 Also here: the LRU cache that keeps :class:`~repro.core.revenue.RevenueEngine`'s
 per-bundle raw-WTP vectors memory-flat over long greedy runs.
@@ -35,10 +54,13 @@ per-bundle raw-WTP vectors memory-flat over long greedy runs.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
+import traceback
 from collections import OrderedDict
 from collections.abc import Callable, Iterator, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
@@ -90,6 +112,62 @@ def check_n_workers(n_workers: int) -> int:
     return int(n_workers)
 
 
+#: Chunk-scan execution backends (see the module docstring).
+EXECUTORS = ("serial", "thread", "process")
+
+#: Start method for process-executor pools.  ``spawn`` everywhere: fork is
+#: unsafe when the parent has live threads (earlier thread scans, BLAS
+#: pools) and would silently differ across platforms.
+_START_METHOD_ENV = "REPRO_EXECUTOR_START_METHOD"
+
+
+def check_executor(executor: str) -> str:
+    """Validate an executor name (``"serial"``, ``"thread"``, ``"process"``)."""
+    if executor not in EXECUTORS:
+        raise ValidationError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    return executor
+
+
+def _mp_context():
+    method = os.environ.get(_START_METHOD_ENV, "spawn")
+    if method not in multiprocessing.get_all_start_methods():
+        raise ValidationError(
+            f"{_START_METHOD_ENV}={method!r} is not a start method on this "
+            f"platform; available: {multiprocessing.get_all_start_methods()}"
+        )
+    return multiprocessing.get_context(method)
+
+
+def _resolve_execution(executor: str, n_workers: int, n_chunks: int) -> tuple[str, int]:
+    """Effective ``(executor, n_workers)`` for a scan.
+
+    ``"serial"`` pins one worker regardless of ``n_workers``; a single
+    worker (or single chunk) degenerates every executor to serial, so the
+    fan-out machinery only ever engages when it can actually overlap work.
+    """
+    n_workers = min(check_n_workers(n_workers), max(1, n_chunks))
+    if check_executor(executor) == "serial" or n_workers <= 1:
+        return "serial", 1
+    return executor, n_workers
+
+
+def _release_scan_frames(error: BaseException) -> None:
+    """Drop fill-buffer references pinned by a failed scan's traceback.
+
+    A worker (or the serial loop) that raises leaves its frames — and the
+    ``process``/fill frames below it, whose parameters reference one full
+    per-worker buffer set — alive inside ``error.__traceback__`` for as
+    long as the caller holds the exception.  At float32-state scale that
+    silently doubles RSS across back-to-back scans whose first attempt
+    failed.  ``traceback.clear_frames`` clears the locals of every
+    *finished* frame in the chain (still-executing frames are skipped),
+    keeping the traceback printable while releasing the buffers.
+    """
+    traceback.clear_frames(error.__traceback__)
+
+
 def run_chunks(
     chunks: Sequence[tuple[int, int]],
     make_buffers: Callable[[], tuple],
@@ -102,23 +180,44 @@ def run_chunks(
     each worker allocates its own buffer set via ``make_buffers`` and walks
     a strided subset of the chunk schedule.  The schedule itself never
     depends on ``n_workers``, and chunks write disjoint output slices, so
-    parallel results are bit-identical to serial ones.
+    parallel results are bit-identical to serial ones.  Buffer sets are
+    released on every exit path — including through a propagating fill
+    exception, whose traceback would otherwise pin one buffer set per
+    worker (see :func:`_release_scan_frames`).
     """
     n_workers = min(check_n_workers(n_workers), len(chunks))
     if n_workers <= 1:
         buffers = make_buffers()
-        for start, stop in chunks:
-            process(buffers, start, stop)
+        try:
+            for start, stop in chunks:
+                process(buffers, start, stop)
+        except BaseException as error:
+            _release_scan_frames(error)
+            raise
+        finally:
+            del buffers
         return
 
     def worker(index: int) -> None:
         buffers = make_buffers()
-        for start, stop in chunks[index::n_workers]:
-            process(buffers, start, stop)
+        try:
+            for start, stop in chunks[index::n_workers]:
+                process(buffers, start, stop)
+        finally:
+            del buffers
 
     with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        # list() drains the iterator so worker exceptions propagate here.
-        list(pool.map(worker, range(n_workers)))
+        futures = [pool.submit(worker, index) for index in range(n_workers)]
+        errors = [future.exception() for future in futures]
+    first_error = next((error for error in errors if error is not None), None)
+    if first_error is not None:
+        # Every failed worker's exception — not only the one re-raised —
+        # pins its frames (and through them one buffer set) while
+        # referenced; release them all before propagating.
+        for error in errors:
+            if error is not None:
+                _release_scan_frames(error)
+        raise first_error
 
 
 def chunk_width(
@@ -142,6 +241,139 @@ def iter_chunks(n_columns: int, width: int) -> Iterator[tuple[int, int]]:
         yield start, min(start + width, n_columns)
 
 
+# ---------------------------------------------------------- process execution
+def available_cpus() -> int:
+    """CPUs this process may actually schedule on.
+
+    ``os.cpu_count()`` reports the *host's* cores, which overcounts inside
+    cpu-limited containers (docker ``--cpus``, taskset); the affinity mask
+    is the honest bound on parallel speedup where the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        return len(getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _close_fill(fill) -> None:
+    """Release a fill's shared-memory attachments, when it has any."""
+    closer = getattr(fill, "close", None)
+    if closer is not None:
+        closer()
+
+
+def _price_pure_chunk(fill, buffer, start, stop, adoption, grid, chunk_elements):
+    """Fill and price one pure chunk: the single arithmetic both executors run.
+
+    The serial/thread closures and the process workers all come through
+    here, so cross-executor bit-identity cannot drift by a one-sided edit.
+    """
+    block = buffer[:, : stop - start]
+    fill(block, start, stop)
+    return price_pure_batch(block, adoption, grid, chunk_elements=chunk_elements)
+
+
+def _price_mixed_chunk(
+    fill_pair, buffers, start, stop, adoption, grid, chunk_elements, kernel
+):
+    """Fill and price one mixed chunk (see :func:`_price_pure_chunk`)."""
+    wtp_buf, score_buf, pay_buf, floors, ceilings = buffers
+    count = stop - start
+    for offset in range(count):
+        floor, ceiling = fill_pair(
+            start + offset,
+            wtp_buf[:, offset],
+            score_buf[:, offset],
+            pay_buf[:, offset],
+        )
+        floors[offset] = floor
+        ceilings[offset] = ceiling
+    return kernel(
+        wtp_buf[:, :count],
+        score_buf[:, :count],
+        pay_buf[:, :count],
+        floors[:count],
+        ceilings[:count],
+        adoption,
+        grid,
+        chunk_elements=chunk_elements,
+    )
+
+
+def _mixed_scan_buffers(n_users: int, width: int) -> tuple:
+    """One worker's mixed-scan buffer set (three columns + two interval rows)."""
+    return (
+        np.empty((n_users, width), dtype=np.float64),
+        np.empty((n_users, width), dtype=np.float64),
+        np.empty((n_users, width), dtype=np.float64),
+        np.empty(width, dtype=np.float64),
+        np.empty(width, dtype=np.float64),
+    )
+
+
+def _pure_chunk_subset(
+    fill, chunks, n_users, width, adoption, grid, chunk_elements
+):
+    """Worker-side pure scan over a chunk subset; returns per-chunk results.
+
+    Runs in a worker process: allocates its own fill buffer, prices each
+    chunk through :func:`_price_pure_chunk` (the same call the serial scan
+    makes), and returns ``(start, stop, prices, revenues, buyers)`` per
+    chunk — O(width) floats each, so result transport is negligible next
+    to the pricing work.
+    """
+    buffer = np.empty((n_users, width), dtype=np.float64)
+    results = []
+    try:
+        for start, stop in chunks:
+            p, r, b = _price_pure_chunk(
+                fill, buffer, start, stop, adoption, grid, chunk_elements
+            )
+            results.append((start, stop, p, r, b))
+    finally:
+        _close_fill(fill)
+    return results
+
+
+def _mixed_chunk_subset(
+    fill_pair, chunks, n_users, width, adoption, grid, chunk_elements, kernel
+):
+    """Worker-side mixed scan over a chunk subset (see :func:`_pure_chunk_subset`)."""
+    buffers = _mixed_scan_buffers(n_users, width)
+    results = []
+    try:
+        for start, stop in chunks:
+            p, g, u, f = _price_mixed_chunk(
+                fill_pair, buffers, start, stop, adoption, grid, chunk_elements, kernel
+            )
+            results.append((start, stop, p, g, u, f))
+    finally:
+        _close_fill(fill_pair)
+    return results
+
+
+def _run_process_chunks(worker, fill, chunks, n_workers: int, kwargs: dict) -> list:
+    """Fan strided chunk subsets over a process pool; return all chunk results.
+
+    Each worker receives every ``n_workers``-th chunk of the *serial*
+    schedule — the same striding as the thread path — plus the picklable
+    ``fill``; the pool is per-scan, so worker processes never outlive the
+    scan (and their shared-memory attachments die with them even if
+    :func:`_close_fill` was skipped by a crash).
+    """
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=_mp_context()
+    ) as pool:
+        futures = [
+            pool.submit(worker, fill, chunks[index::n_workers], **kwargs)
+            for index in range(n_workers)
+        ]
+        results: list = []
+        for future in futures:
+            results.extend(future.result())
+    return results
+
+
 # -------------------------------------------------------------- pure streaming
 def stream_pure_prices(
     fill: Callable[[np.ndarray, int, int], None],
@@ -151,6 +383,7 @@ def stream_pure_prices(
     grid: PriceGrid,
     chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
     n_workers: int = 1,
+    executor: str = "thread",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Streamed :func:`~repro.core.pricing.price_pure_batch` over *n_columns*.
 
@@ -159,11 +392,14 @@ def stream_pure_prices(
     stop-start)``, float64).  Buffers are reused across chunks, so ``fill``
     must overwrite every entry it is handed; with ``n_workers > 1`` chunks
     run concurrently (one private buffer per worker), so ``fill`` must also
-    be thread-safe.
+    be thread-safe (``executor="thread"``) or picklable
+    (``executor="process"`` — see the module docstring; the engine passes
+    :class:`repro.core.shm.SharedPairFill` so workers attach to shared
+    parent rows by name).
 
     Returns ``(prices, revenues, buyers)`` of length ``n_columns`` —
     bit-identical to pricing one giant stacked array, at bounded memory,
-    for any chunk budget and worker count.
+    for any chunk budget, worker count, and executor.
     """
     prices = np.zeros(n_columns)
     revenues = np.zeros(n_columns)
@@ -171,22 +407,41 @@ def stream_pure_prices(
     if n_columns == 0:
         return prices, revenues, buyers
     width = chunk_width(n_columns, n_users, chunk_elements)
+    chunks = list(iter_chunks(n_columns, width))
+    executor, n_workers = _resolve_execution(executor, n_workers, len(chunks))
+    if executor == "process":
+        chunk_results = _run_process_chunks(
+            _pure_chunk_subset,
+            fill,
+            chunks,
+            n_workers,
+            dict(
+                n_users=n_users,
+                width=width,
+                adoption=adoption,
+                grid=grid,
+                chunk_elements=chunk_elements,
+            ),
+        )
+        for start, stop, p, r, b in chunk_results:
+            prices[start:stop] = p
+            revenues[start:stop] = r
+            buyers[start:stop] = b
+        return prices, revenues, buyers
 
     def make_buffers() -> tuple:
         return (np.empty((n_users, width), dtype=np.float64),)
 
     def process(buffers: tuple, start: int, stop: int) -> None:
         (buffer,) = buffers
-        block = buffer[:, : stop - start]
-        fill(block, start, stop)
-        p, r, b = price_pure_batch(
-            block, adoption, grid, chunk_elements=chunk_elements
+        p, r, b = _price_pure_chunk(
+            fill, buffer, start, stop, adoption, grid, chunk_elements
         )
         prices[start:stop] = p
         revenues[start:stop] = r
         buyers[start:stop] = b
 
-    run_chunks(list(iter_chunks(n_columns, width)), make_buffers, process, n_workers)
+    run_chunks(chunks, make_buffers, process, n_workers)
     return prices, revenues, buyers
 
 
@@ -200,6 +455,7 @@ def stream_mixed_merges(
     chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
     n_workers: int = 1,
     mixed_kernel: str = "band",
+    executor: str = "thread",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Streamed mixed-merge pricing over *n_pairs* candidates.
 
@@ -212,7 +468,10 @@ def stream_mixed_merges(
     ``chunk_elements`` budget (:data:`MIXED_FILL_BUFFERS`);
     ``chunk_elements=None`` disables chunking entirely — the same
     convention as the pure path.  ``fill_pair`` must be thread-safe when
-    ``n_workers > 1``.
+    ``n_workers > 1`` under ``executor="thread"``, and picklable under
+    ``executor="process"`` (the engine passes
+    :class:`repro.core.shm.SharedMixedFill`, whose workers attach to the
+    shared parent raw/score/pay rows by name).
 
     ``mixed_kernel`` selects the per-chunk pricing kernel (see
     :data:`~repro.core.pricing.MIXED_KERNELS`): ``"band"`` runs
@@ -236,44 +495,43 @@ def stream_mixed_merges(
     if n_pairs == 0:
         return prices, gains, upgraded, feasible
     width = chunk_width(n_pairs, n_users, chunk_elements, MIXED_FILL_BUFFERS)
+    chunks = list(iter_chunks(n_pairs, width))
+    executor, n_workers = _resolve_execution(executor, n_workers, len(chunks))
+    if executor == "process":
+        chunk_results = _run_process_chunks(
+            _mixed_chunk_subset,
+            fill_pair,
+            chunks,
+            n_workers,
+            dict(
+                n_users=n_users,
+                width=width,
+                adoption=adoption,
+                grid=grid,
+                chunk_elements=chunk_elements,
+                kernel=kernel,
+            ),
+        )
+        for start, stop, p, g, u, f in chunk_results:
+            prices[start:stop] = p
+            gains[start:stop] = g
+            upgraded[start:stop] = u
+            feasible[start:stop] = f
+        return prices, gains, upgraded, feasible
 
     def make_buffers() -> tuple:
-        return (
-            np.empty((n_users, width), dtype=np.float64),
-            np.empty((n_users, width), dtype=np.float64),
-            np.empty((n_users, width), dtype=np.float64),
-            np.empty(width, dtype=np.float64),
-            np.empty(width, dtype=np.float64),
-        )
+        return _mixed_scan_buffers(n_users, width)
 
     def process(buffers: tuple, start: int, stop: int) -> None:
-        wtp_buf, score_buf, pay_buf, floors, ceilings = buffers
-        count = stop - start
-        for offset in range(count):
-            floor, ceiling = fill_pair(
-                start + offset,
-                wtp_buf[:, offset],
-                score_buf[:, offset],
-                pay_buf[:, offset],
-            )
-            floors[offset] = floor
-            ceilings[offset] = ceiling
-        p, g, u, f = kernel(
-            wtp_buf[:, :count],
-            score_buf[:, :count],
-            pay_buf[:, :count],
-            floors[:count],
-            ceilings[:count],
-            adoption,
-            grid,
-            chunk_elements=chunk_elements,
+        p, g, u, f = _price_mixed_chunk(
+            fill_pair, buffers, start, stop, adoption, grid, chunk_elements, kernel
         )
         prices[start:stop] = p
         gains[start:stop] = g
         upgraded[start:stop] = u
         feasible[start:stop] = f
 
-    run_chunks(list(iter_chunks(n_pairs, width)), make_buffers, process, n_workers)
+    run_chunks(chunks, make_buffers, process, n_workers)
     return prices, gains, upgraded, feasible
 
 

@@ -1,0 +1,320 @@
+"""Shared-memory staging for the process-parallel streaming kernels.
+
+Thread fan-out (:func:`repro.core.kernels.run_chunks`) scales only as far
+as the GIL-free fraction of a scan: the numpy pricing kernels release the
+GIL, but candidate *fill* work — per-pair index lookups, LRU bookkeeping —
+does not, and a 1-CPU container caps the whole story at 1×.  Real
+multi-core scaling needs worker *processes*, and the obstacle there is
+argument transport: a pair scan's inputs (parent raw-WTP columns and
+mixed-strategy ``SubtreeState`` arrays) are O(live bundles · users) —
+gigabytes at a million users — and pickling them to every worker would
+swamp the scan itself.
+
+This module moves those inputs into ``multiprocessing.shared_memory``
+instead:
+
+:class:`SharedArrayView`
+    A picklable handle to one named shared block interpreted as an ndarray.
+    Pickling carries only ``(name, shape, dtype)`` — a worker *attaches* to
+    the block by name (zero-copy) rather than receiving the data.
+
+:class:`SharedWTPStore`
+    The parent-side owner of a scan's blocks.  Context-managed: every block
+    it allocates is closed **and unlinked** on exit, normal or exceptional,
+    so a crashed worker can never leak ``/dev/shm`` segments.  The
+    module-level registry behind :func:`active_shared_blocks` lets tests
+    assert exactly that.
+
+:class:`SharedPairFill` / :class:`SharedMixedFill`
+    Picklable fill callbacks for the two pair scans, computing candidate
+    columns from shared parent rows with the *same* arithmetic as the
+    engine's in-process closures — process results stay bit-identical to
+    serial ones.
+
+Workers attach with tracking disabled where Python supports it
+(``track=False``, 3.13+): an attaching process must never become the one
+that unlinks.  On earlier versions the duplicate attach-side registration
+is harmless — pool workers inherit the parent's resource tracker, whose
+name-keyed cache the parent's own unlink clears (see :func:`_attach`).
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from collections.abc import Sequence
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Names of every shared block currently allocated (and not yet unlinked)
+#: by this process.  Tests assert this drains to empty after every scan —
+#: the leak gate for normal exits and worker crashes alike.
+_ACTIVE_BLOCKS: set[str] = set()
+_ACTIVE_LOCK = threading.Lock()
+
+#: Python ≥ 3.13 can attach without registering with the resource tracker.
+_HAS_TRACK = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__
+).parameters
+
+
+def active_shared_blocks() -> frozenset[str]:
+    """Names of shared blocks this process has allocated and not unlinked."""
+    with _ACTIVE_LOCK:
+        return frozenset(_ACTIVE_BLOCKS)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without taking ownership of its lifetime.
+
+    Python ≥ 3.13 attaches with ``track=False`` — an attaching process must
+    never be the one that unlinks.  Earlier versions register on attach
+    too, but worker processes spawned by :mod:`concurrent.futures` inherit
+    the *parent's* resource tracker, whose cache is a name-keyed set: the
+    duplicate registration is a no-op and the parent's unlink clears the
+    single entry, so no extra bookkeeping is needed (and an explicit
+    child-side unregister would wrongly erase the parent's registration).
+    """
+    if _HAS_TRACK:
+        return shared_memory.SharedMemory(name=name, track=False)
+    return shared_memory.SharedMemory(name=name)
+
+
+class SharedArrayView:
+    """Picklable handle to a named shared-memory block viewed as an ndarray.
+
+    Pickles as ``(name, shape, dtype)`` only; :meth:`open` attaches to the
+    block by name and returns the zero-copy array, caching the attachment
+    for repeated calls.  :meth:`close` drops the array and detaches — it
+    never unlinks; block lifetime belongs to the creating
+    :class:`SharedWTPStore`.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "_shm", "_array")
+
+    def __init__(self, name: str, shape: Sequence[int], dtype) -> None:
+        self.name = name
+        self.shape = tuple(int(size) for size in shape)
+        self.dtype = np.dtype(dtype)
+        self._shm: shared_memory.SharedMemory | None = None
+        self._array: np.ndarray | None = None
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "shape": self.shape, "dtype": self.dtype.str}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["name"], state["shape"], state["dtype"])
+
+    def open(self) -> np.ndarray:
+        """The shared array (attached on first call, cached afterwards)."""
+        if self._array is None:
+            self._shm = _attach(self.name)
+            self._array = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+        return self._array
+
+    def close(self) -> None:
+        """Detach from the block (no-op when never opened; never unlinks)."""
+        self._array = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArrayView(name={self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype.name})"
+        )
+
+
+class SharedWTPStore:
+    """Parent-side owner of the shared blocks behind one process-parallel scan.
+
+    Usage::
+
+        with SharedWTPStore() as store:
+            raw = store.put_rows("raw", [engine.raw_wtp(b) for b in parents])
+            ...  # hand the views to picklable fills, run the scan
+
+    Every block is unlinked when the ``with`` body exits — including via a
+    worker exception propagating out of the scan — so shared segments can
+    never outlive the scan that created them.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, tuple[shared_memory.SharedMemory, SharedArrayView]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------- allocation
+    def _allocate(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        if self._closed:
+            raise ValidationError("SharedWTPStore is closed")
+        if key in self._blocks:
+            raise ValidationError(f"shared block {key!r} already staged")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        with _ACTIVE_LOCK:
+            _ACTIVE_BLOCKS.add(shm.name)
+        self._blocks[key] = (shm, SharedArrayView(shm.name, shape, dtype))
+        return np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+    def put(self, key: str, array: np.ndarray) -> SharedArrayView:
+        """Copy *array* into a fresh shared block; return its view handle."""
+        array = np.asarray(array)
+        destination = self._allocate(key, array.shape, array.dtype)
+        destination[...] = array
+        return self.view(key)
+
+    def put_rows(self, key: str, rows: Sequence[np.ndarray]) -> SharedArrayView:
+        """Stack equal-length 1-D *rows* into one shared ``(len, M)`` block.
+
+        Copies row by row, so the stack is never materialized twice in
+        private memory (the rows themselves typically come from the
+        engine's caches).
+        """
+        rows = list(rows)
+        if not rows:
+            raise ValidationError(f"shared block {key!r} needs at least one row")
+        first = np.asarray(rows[0])
+        destination = self._allocate(key, (len(rows), first.shape[0]), first.dtype)
+        for index, row in enumerate(rows):
+            destination[index, :] = row
+        return self.view(key)
+
+    def view(self, key: str) -> SharedArrayView:
+        """The picklable view handle for a staged block."""
+        return self._blocks[key][1]
+
+    # -------------------------------------------------------------- lifetime
+    def close(self) -> None:
+        """Close and unlink every staged block (idempotent).
+
+        Cleanup is per-block best-effort: one block's failure (e.g. a
+        segment already removed externally) must not leak the remaining
+        blocks or mask the scan exception ``__exit__`` is propagating.
+        The first unexpected failure is re-raised after every block has
+        been attempted; an already-gone segment is not an error.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        first_error: BaseException | None = None
+        for shm, view in self._blocks.values():
+            unlinked = False
+            try:
+                view.close()
+                shm.close()
+                shm.unlink()
+                unlinked = True
+            except FileNotFoundError:
+                unlinked = True  # already gone - not a leak
+            except BaseException as error:  # recorded and re-raised below
+                if first_error is None:
+                    first_error = error
+            if unlinked:
+                # The ledger only forgets blocks that are truly gone: a
+                # failed unlink stays visible to active_shared_blocks().
+                with _ACTIVE_LOCK:
+                    _ACTIVE_BLOCKS.discard(shm.name)
+        self._blocks.clear()
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "SharedWTPStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except BaseException:
+            # Never replace an in-flight scan exception with a cleanup
+            # failure: blocks that did unlink are already off the ledger,
+            # and any that did not stay visible in active_shared_blocks().
+            if exc_type is None:
+                raise
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+# ------------------------------------------------------------ picklable fills
+class SharedPairFill:
+    """Pure-merge fill: column ``k`` is ``(raw[i] + raw[j]) · scale``.
+
+    The process-executor counterpart of the engine's in-process closure in
+    :meth:`~repro.core.revenue.RevenueEngine.pure_merge_gains` — same
+    per-column ``np.add`` + scalar multiply, so chunk results are
+    bit-identical to the serial scan.  ``pairs`` holds *row indices into
+    the shared block*, already remapped from engine candidate indices.
+    """
+
+    def __init__(self, raw: SharedArrayView, pairs: np.ndarray, scale: float) -> None:
+        self.raw = raw
+        self.pairs = np.ascontiguousarray(pairs, dtype=np.intp)
+        self.scale = float(scale)
+
+    def __call__(self, block: np.ndarray, start: int, stop: int) -> None:
+        raw = self.raw.open()
+        for offset in range(stop - start):
+            i, j = self.pairs[start + offset]
+            column = block[:, offset]
+            np.add(raw[i], raw[j], out=column)
+            if self.scale != 1.0:
+                column *= self.scale
+
+    def close(self) -> None:
+        self.raw.close()
+
+
+class SharedMixedFill:
+    """Mixed-merge fill over shared parent raw/score/pay rows.
+
+    Mirrors the engine's in-process ``fill_pair`` closure exactly: the
+    bundle-WTP column is ``(raw[i] + raw[j]) · scale``; score and pay
+    columns are summed with ``dtype=np.float64`` so float32-stored subtree
+    states are widened *before* the addition (the lean-state rule); the
+    returned Guiltinan interval is ``(max(pᵢ, pⱼ), pᵢ + pⱼ)``.
+    """
+
+    def __init__(
+        self,
+        raw: SharedArrayView,
+        score: SharedArrayView,
+        pay: SharedArrayView,
+        pairs: np.ndarray,
+        prices: np.ndarray,
+        scale: float,
+    ) -> None:
+        self.raw = raw
+        self.score = score
+        self.pay = pay
+        self.pairs = np.ascontiguousarray(pairs, dtype=np.intp)
+        self.prices = np.ascontiguousarray(prices, dtype=np.float64)
+        self.scale = float(scale)
+
+    def __call__(
+        self,
+        k: int,
+        wtp_col: np.ndarray,
+        score_col: np.ndarray,
+        pay_col: np.ndarray,
+    ) -> tuple[float, float]:
+        raw = self.raw.open()
+        score = self.score.open()
+        pay = self.pay.open()
+        i, j = self.pairs[k]
+        np.add(raw[i], raw[j], out=wtp_col)
+        if self.scale != 1.0:
+            wtp_col *= self.scale
+        np.add(score[i], score[j], out=score_col, dtype=np.float64)
+        np.add(pay[i], pay[j], out=pay_col, dtype=np.float64)
+        first, second = float(self.prices[i]), float(self.prices[j])
+        return max(first, second), first + second
+
+    def close(self) -> None:
+        self.raw.close()
+        self.score.close()
+        self.pay.close()

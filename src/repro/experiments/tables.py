@@ -12,10 +12,9 @@ from repro.algorithms.matching_iterative import IterativeMatching
 from repro.algorithms.setpacking import GreedyWSP, OptimalWSP
 from repro.core.pricing import PriceGrid
 from repro.core.revenue import RevenueEngine
-from repro.core.wtp import WTPMatrix
 from repro.data.ratings import RatingsDataset
 from repro.data.toy import TABLE1_THETA, table1_wtp, table6_wtp
-from repro.data.wtp_mapping import list_price_revenue, wtp_from_ratings
+from repro.data.wtp_mapping import wtp_from_ratings
 from repro.errors import SolverError
 from repro.experiments import paper_values
 from repro.experiments.defaults import bench_dataset, default_engine
