@@ -16,6 +16,19 @@ Commands
 ``generate``
     Write a synthetic ratings dataset (calibrated to the paper's
     Amazon-Books marginals) to CSV files.
+``shm-audit``
+    List ``repro-*`` shared-memory blocks orphaned by a hard-killed run
+    (SIGKILL skips the in-process reaper); ``--reap`` unlinks them.
+
+Exit codes
+----------
+Failures map to distinct codes so wrappers can react without parsing
+stderr: 2 for bad input/usage (:class:`~repro.errors.ValidationError` and
+other setup errors), 3 for executor failures past the retry/degradation
+ladder (:class:`~repro.errors.ExecutorError`), 4 for scan timeouts
+(:class:`~repro.errors.ScanTimeoutError`), 5 for shared-memory failures
+(:class:`~repro.errors.SharedMemoryError`), 6 for unusable checkpoints
+(:class:`~repro.errors.CheckpointError`).
 
 Examples
 --------
@@ -26,9 +39,12 @@ Examples
     python -m repro bundle --storage sparse --precision float32 --n-workers 4
     python -m repro bundle --executor process --n-workers 4
     python -m repro bundle --algorithm mixed_greedy --save-solution menu.json
+    python -m repro bundle --checkpoint fit.ckpt --save-solution menu.json
+    python -m repro bundle --checkpoint fit.ckpt --resume --save-solution menu.json
     python -m repro quote --solution menu.json --ratings new_users.csv --prices p.csv
     python -m repro experiment table2
     python -m repro generate --users 500 --items 80 --out-ratings r.csv --out-prices p.csv
+    python -m repro shm-audit --reap
 """
 
 from __future__ import annotations
@@ -42,10 +58,32 @@ from repro.core.evaluation import revenue_gain
 from repro.data.loaders import load_ratings_csv, save_ratings_csv
 from repro.data.synthetic import amazon_books_like
 from repro.data.wtp_mapping import DEFAULT_LAMBDA, wtp_from_ratings
-from repro.errors import ReproError
+from repro.errors import (
+    CheckpointError,
+    ExecutorError,
+    ReproError,
+    ScanTimeoutError,
+    SharedMemoryError,
+)
 
 EXPERIMENTS = ("table1", "table2", "table45", "table6",
                "figure1", "figure2", "figure5", "figure6")
+
+#: Exit codes per failure family (most specific class first).
+_EXIT_CODES = (
+    (ScanTimeoutError, 4),
+    (SharedMemoryError, 5),
+    (ExecutorError, 3),
+    (CheckpointError, 6),
+)
+
+
+def _exit_code(error: ReproError) -> int:
+    """The CLI exit code for *error* (2 = generic bad input/setup)."""
+    for error_type, code in _EXIT_CODES:
+        if isinstance(error, error_type):
+            return code
+    return 2
 
 
 def _synthetic(users: int, items: int, seed: int):
@@ -93,6 +131,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-solution", metavar="PATH", default=None,
         help="persist the fitted solution (configuration + provenance + "
              "metrics) as JSON for later `repro quote` serving",
+    )
+    bundle.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="persist a restartable checkpoint at iteration boundaries; "
+             "a crashed fit restarts from it with --resume",
+    )
+    bundle.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint cadence in iterations (default 1)",
+    )
+    bundle.add_argument(
+        "--resume", action="store_true",
+        help="resume the fit from --checkpoint instead of starting fresh "
+             "(algorithm and engine come from the checkpoint's provenance)",
     )
     backend = bundle.add_argument_group("engine backend")
     backend.add_argument(
@@ -147,6 +199,15 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out-ratings", required=True)
     generate.add_argument("--out-prices", required=True)
+
+    shm_audit = sub.add_parser(
+        "shm-audit",
+        help="list (and optionally reap) orphaned repro-* shared-memory blocks",
+    )
+    shm_audit.add_argument(
+        "--reap", action="store_true",
+        help="unlink the orphaned blocks after listing them",
+    )
     return parser
 
 
@@ -206,21 +267,38 @@ def _command_bundle(args) -> int:
             print(f"error: {args.algorithm} does not support --k", file=sys.stderr)
             return 2
         algo_kwargs["k"] = args.k
-    try:
-        solver = BundlingSolver(
-            AlgorithmSpec(args.algorithm, algo_kwargs), engine_config
-        )
-        # One shared engine: the Components baseline reuses the singleton
-        # pricings the main algorithm caches (and vice versa).
-        engine = engine_config.build(
-            wtp_from_ratings(dataset, conversion=args.conversion)
-        )
-        result = solver.fit_engine(engine, metadata={"conversion": args.conversion})
-        components = BundlingSolver("components", engine_config).fit_engine(engine)
-    except ReproError as exc:
-        # Bad option values (e.g. --k -1) surface at construction/fit time.
-        print(f"error: {exc}", file=sys.stderr)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+    try:
+        wtp = wtp_from_ratings(dataset, conversion=args.conversion)
+        if args.resume:
+            # Provenance (algorithm + engine config) comes from the
+            # checkpoint, so the run finishes exactly as the crashed one
+            # would have; the components baseline refits for the gain line.
+            result = BundlingSolver.resume(
+                args.checkpoint, wtp, metadata={"conversion": args.conversion}
+            )
+            components = BundlingSolver("components", engine_config).fit(wtp)
+        else:
+            solver = BundlingSolver(
+                AlgorithmSpec(args.algorithm, algo_kwargs), engine_config
+            )
+            # One shared engine: the Components baseline reuses the singleton
+            # pricings the main algorithm caches (and vice versa).
+            engine = engine_config.build(wtp)
+            result = solver.fit_engine(
+                engine,
+                metadata={"conversion": args.conversion},
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+            )
+            components = BundlingSolver("components", engine_config).fit_engine(engine)
+    except ReproError as exc:
+        # Bad option values (e.g. --k -1) surface at construction/fit time;
+        # runtime failures keep their family's exit code (see module doc).
+        print(f"error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
 
     print(f"dataset: {dataset.n_users} users x {dataset.n_items} items "
           f"({dataset.n_ratings} ratings)")
@@ -277,7 +355,7 @@ def _command_quote(args) -> int:
         quote = solution.quote(wtp)
     except (ReproError, TypeError, ValueError) as exc:
         print(f"error: cannot quote against {args.solution}: {exc}", file=sys.stderr)
-        return 2
+        return _exit_code(exc) if isinstance(exc, ReproError) else 2
     print(f"solution: {solution.algorithm} ({solution.strategy}), "
           f"{len(solution.configuration)} offers over {solution.n_items} items")
     print(f"fitted expected revenue: {solution.expected_revenue:.2f}")
@@ -299,6 +377,28 @@ def _command_experiment(args) -> int:
     return 0
 
 
+def _command_shm_audit(args) -> int:
+    from repro.core.shm import orphaned_shared_blocks, reap_orphaned_blocks
+
+    names = orphaned_shared_blocks()
+    if not names:
+        print("no orphaned repro-* shared-memory blocks")
+        return 0
+    for name in names:
+        print(name)
+    if args.reap:
+        try:
+            reaped = reap_orphaned_blocks(names)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return _exit_code(exc)
+        print(f"reaped {len(reaped)} of {len(names)} block(s)")
+        if len(reaped) < len(names):
+            # Unreapable blocks (e.g. permissions) are an operator problem.
+            return 5
+    return 0
+
+
 def _command_generate(args) -> int:
     dataset = _synthetic(args.users, args.items, args.seed)
     save_ratings_csv(dataset, args.out_ratings, args.out_prices)
@@ -315,6 +415,8 @@ def main(argv=None) -> int:
         return _command_quote(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "shm-audit":
+        return _command_shm_audit(args)
     return _command_generate(args)
 
 

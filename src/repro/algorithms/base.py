@@ -112,10 +112,42 @@ class BundlingAlgorithm(ABC):
     mixed_kernel: str | None = None
     #: Optional per-run executor override (``None`` = engine's setting).
     executor: str | None = None
+    #: Checkpointing knobs, armed by :meth:`repro.api.BundlingSolver.fit`
+    #: (class-level so registry-validated constructor signatures stay
+    #: untouched).  ``checkpoint_path=None`` disables checkpointing.
+    checkpoint_path = None
+    checkpoint_every: int = 1
+    #: A :class:`~repro.api.checkpoint.FitCheckpoint` to restart from,
+    #: installed by :meth:`repro.api.BundlingSolver.resume`; consumed (and
+    #: cleared) by the next ``fit`` call.
+    _resume_from = None
+    #: ``(EngineConfig, AlgorithmSpec)`` recorded into checkpoints so a
+    #: resumed solution carries provenance identical to an uninterrupted one.
+    _checkpoint_provenance = None
 
     @abstractmethod
     def fit(self, engine: RevenueEngine) -> BundlingResult:
         """Run the algorithm against *engine* and return the result."""
+
+    # --------------------------------------------------------- checkpointing
+    def _take_resume(self):
+        """Pop the pending resume checkpoint (one restart per install)."""
+        resume, self._resume_from = self._resume_from, None
+        return resume
+
+    def _emit_checkpoint(
+        self, engine: RevenueEngine, iteration: int, trace, state: dict, arrays: dict
+    ) -> None:
+        """Persist an iteration boundary when checkpointing is armed.
+
+        Honours the ``checkpoint_every`` cadence; a no-op without a
+        ``checkpoint_path``, so un-checkpointed fits pay nothing.
+        """
+        if self.checkpoint_path is None or iteration % self.checkpoint_every:
+            return
+        from repro.api.checkpoint import write_fit_checkpoint
+
+        write_fit_checkpoint(self, engine, iteration, trace, state, arrays)
 
     @contextmanager
     def _engine_overrides(self, engine: RevenueEngine):

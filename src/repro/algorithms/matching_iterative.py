@@ -90,14 +90,28 @@ class IterativeMatching(BundlingAlgorithm):
 
     def fit(self, engine: RevenueEngine) -> BundlingResult:
         with Timer() as timer, self._engine_overrides(engine):
-            current: list[PricedBundle] = list(engine.price_components())
-            is_new = [True] * len(current)
             mixed = self.strategy != PURE
-            states = [engine.offer_state(offer) for offer in current] if mixed else []
-            retained: list[PricedBundle] = []
-            revenue_estimate = sum(offer.revenue for offer in current)
-            trace: list[IterationRecord] = []
-            iteration = 0
+            resume = self._take_resume()
+            if resume is None:
+                current: list[PricedBundle] = list(engine.price_components())
+                is_new = [True] * len(current)
+                states = (
+                    [engine.offer_state(offer) for offer in current] if mixed else []
+                )
+                retained: list[PricedBundle] = []
+                revenue_estimate = sum(offer.revenue for offer in current)
+                trace: list[IterationRecord] = []
+                iteration = 0
+            else:
+                (
+                    current,
+                    is_new,
+                    states,
+                    retained,
+                    revenue_estimate,
+                    trace,
+                    iteration,
+                ) = self._restore(engine, resume)
 
             while True:
                 iteration += 1
@@ -184,6 +198,14 @@ class IterativeMatching(BundlingAlgorithm):
                         merges=len(matched),
                     )
                 )
+                self._emit_checkpoint(
+                    engine,
+                    iteration,
+                    trace,
+                    *self._checkpoint_state(
+                        current, is_new, states, retained, revenue_estimate
+                    ),
+                )
 
             if self.strategy == PURE:
                 configuration = PureConfiguration(current, engine.n_items)
@@ -213,3 +235,75 @@ class IterativeMatching(BundlingAlgorithm):
         if self.new_vertex_pruning and iteration > 1:
             pairs = [(i, j) for (i, j) in pairs if is_new[i] or is_new[j]]
         return pairs
+
+    # --------------------------------------------------------- checkpointing
+    def _checkpoint_state(
+        self, current, is_new, states, retained, revenue_estimate
+    ) -> tuple[dict, dict]:
+        """The restartable state at an iteration boundary (scalars, arrays).
+
+        Unlike the greedy heap, matching keeps no cross-iteration priority
+        state — candidate pairs and the matching are recomputed from the
+        vertex list every iteration — so the vertex list (with its is-new
+        flags), the mixed subtree states, and the retained offers are the
+        whole story.
+        """
+        from repro.api.checkpoint import _float_fields, _offer_entry
+
+        entries = []
+        for index, offer in enumerate(current):
+            entry = _offer_entry(offer)
+            entry["is_new"] = bool(is_new[index])
+            entries.append(entry)
+        state = {
+            "current": entries,
+            "retained": [_offer_entry(offer) for offer in retained],
+        }
+        state.update(_float_fields(revenue_estimate, "revenue_estimate"))
+        arrays = {}
+        for index, subtree in enumerate(states):
+            arrays[f"score_{index}"] = subtree.score
+            arrays[f"pay_{index}"] = subtree.pay
+        return state, arrays
+
+    def _restore(self, engine: RevenueEngine, checkpoint):
+        """Rebuild the vertex list from a checkpoint (inverse of
+        :meth:`_checkpoint_state`)."""
+        from repro.api.checkpoint import _read_float, _read_offer
+        from repro.core.choice import SubtreeState
+        from repro.errors import CheckpointError
+
+        checkpoint.check_algorithm(self)
+        checkpoint.check_population(engine.n_users)
+        try:
+            current = [_read_offer(entry) for entry in checkpoint.state["current"]]
+            is_new = [bool(entry["is_new"]) for entry in checkpoint.state["current"]]
+            retained = [_read_offer(entry) for entry in checkpoint.state["retained"]]
+            revenue_estimate = _read_float(checkpoint.state, "revenue_estimate")
+        except (TypeError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"malformed matching checkpoint state: {exc!r}"
+            ) from exc
+        states: list = []
+        if self.strategy != PURE:
+            for index in range(len(current)):
+                try:
+                    states.append(
+                        SubtreeState(
+                            checkpoint.arrays[f"score_{index}"],
+                            checkpoint.arrays[f"pay_{index}"],
+                        )
+                    )
+                except KeyError as exc:
+                    raise CheckpointError(
+                        f"checkpoint is missing the subtree state for vertex {index}"
+                    ) from exc
+        return (
+            current,
+            is_new,
+            states,
+            retained,
+            revenue_estimate,
+            checkpoint.read_trace(),
+            checkpoint.iteration,
+        )

@@ -6,14 +6,22 @@ The one entry point for using the system end to end:
   engine recipes (model parameters + performance backends);
 * :class:`AlgorithmSpec` — a registry algorithm name with
   signature-validated kwargs;
-* :class:`BundlingSolver` — ``fit(wtp) -> BundlingSolution``;
+* :class:`BundlingSolver` — ``fit(wtp) -> BundlingSolution``, with
+  iteration-boundary checkpointing (``checkpoint_path=``) and
+  crash recovery via :meth:`BundlingSolver.resume`;
 * :class:`BundlingSolution` — the durable artifact: configuration,
   provenance, metrics; ``save``/``load`` (bit-exact JSON),
-  ``quote(new_user_wtp)`` and ``evaluate(engine)`` for serving.
+  ``quote(new_user_wtp)`` and ``evaluate(engine)`` for serving;
+* :class:`RetryPolicy` — scan retry/timeout/degradation policy
+  (:class:`EngineConfig`'s ``retry`` field);
+  :class:`DegradedExecutionWarning` is the structured warning emitted
+  when a scan falls back to a slower executor;
+* :class:`FitCheckpoint` — the persisted restartable fit state.
 
 See EXPERIMENTS.md and the README "API" section for a worked example.
 """
 
+from repro.api.checkpoint import CHECKPOINT_FORMAT_VERSION, FitCheckpoint
 from repro.api.config import (
     ADOPTION_KINDS,
     AdoptionSpec,
@@ -26,6 +34,7 @@ from repro.api.solution import (
     QuoteResult,
 )
 from repro.api.solver import DEFAULT_ALGORITHM, BundlingSolver
+from repro.core.retry import DegradedExecutionWarning, RetryPolicy
 
 __all__ = [
     "ADOPTION_KINDS",
@@ -33,8 +42,12 @@ __all__ = [
     "AlgorithmSpec",
     "BundlingSolution",
     "BundlingSolver",
+    "CHECKPOINT_FORMAT_VERSION",
     "DEFAULT_ALGORITHM",
+    "DegradedExecutionWarning",
     "EngineConfig",
+    "FitCheckpoint",
     "QuoteResult",
+    "RetryPolicy",
     "SOLUTION_FORMAT_VERSION",
 ]

@@ -49,6 +49,7 @@ from repro.core.pricing import (
     check_mixed_kernel,
     resolve_mixed_kernel,
 )
+from repro.core.retry import RetryPolicy
 from repro.core.revenue import RevenueEngine
 from repro.errors import ValidationError
 from repro.utils.validation import (
@@ -181,7 +182,10 @@ class EngineConfig:
     execution); ``state_dtype`` stores mixed-strategy subtree states in
     float32; ``mixed_kernel`` selects the mixed-merge pricing kernel;
     ``raw_cache_entries`` caps the raw-WTP LRU cache (``None`` uses the
-    engine's per-catalogue default).
+    engine's per-catalogue default); ``retry`` is a
+    :class:`~repro.core.retry.RetryPolicy` (or its dict form) governing
+    scan retries, timeouts, and executor degradation (``None`` uses the
+    engine's default policy).
     """
 
     theta: float = 0.0
@@ -195,6 +199,7 @@ class EngineConfig:
     state_dtype: str | None = None
     mixed_kernel: str = "auto"
     raw_cache_entries: int | None = None
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         theta = float(self.theta)
@@ -229,6 +234,15 @@ class EngineConfig:
                 "raw_cache_entries",
                 check_positive_int(self.raw_cache_entries, "raw_cache_entries"),
             )
+        retry = self.retry
+        if isinstance(retry, dict):
+            retry = RetryPolicy.from_dict(retry)
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ValidationError(
+                f"retry must be a RetryPolicy, dict, or None, got "
+                f"{type(retry).__name__}"
+            )
+        object.__setattr__(self, "retry", retry)
         # Fail unusable combinations at construction, mirroring the engine's
         # own eager checks: an explicit sorted kernel cannot serve a
         # stochastic adoption model.
@@ -254,6 +268,7 @@ class EngineConfig:
             executor=self.executor,
             state_dtype=self.state_dtype,
             mixed_kernel=self.mixed_kernel,
+            retry=self.retry,
         )
 
     @classmethod
@@ -291,6 +306,7 @@ class EngineConfig:
             state_dtype=engine.state_dtype.name,
             mixed_kernel=engine.mixed_kernel,
             raw_cache_entries=None if cache_entries == default_cache else cache_entries,
+            retry=None if engine.retry == RetryPolicy() else engine.retry,
         )
 
     # -------------------------------------------------------- serialization
@@ -307,6 +323,7 @@ class EngineConfig:
             "state_dtype": self.state_dtype,
             "mixed_kernel": self.mixed_kernel,
             "raw_cache_entries": self.raw_cache_entries,
+            "retry": None if self.retry is None else self.retry.to_dict(),
         }
 
     @classmethod

@@ -25,6 +25,7 @@ menu is fixed, only the consumers change.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -259,6 +260,30 @@ class BundlingSolution:
             "wall_time": self.wall_time,
             "metadata": dict(self.metadata),
         }
+
+    def canonical_dict(self) -> dict:
+        """:meth:`to_dict` with the nondeterministic timing fields zeroed.
+
+        Two fits of the same input under the same configuration produce
+        equal canonical dicts even though their wall-clock measurements
+        differ — the basis of :meth:`fingerprint`.
+        """
+        payload = self.to_dict()
+        payload["wall_time"] = 0.0
+        for record in payload["trace"]:
+            record["elapsed"] = 0.0
+        return payload
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical (timing-free) JSON form.
+
+        Equal fingerprints mean bit-identical solutions — same offers,
+        prices, provenance, metrics, and trace revenues — up to wall-clock
+        timing.  Used by the resilience tests to pin that degraded and
+        resumed fits reproduce the uninterrupted result exactly.
+        """
+        text = json.dumps(self.canonical_dict(), sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BundlingSolution":

@@ -20,11 +20,14 @@ algorithm described by the :class:`AlgorithmSpec`, and packages the result
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.api.config import AlgorithmSpec, EngineConfig
 from repro.api.solution import BundlingSolution
 from repro.core.wtp import WTPMatrix
 from repro.data.ratings import RatingsDataset
 from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
 
 #: Default algorithm: the paper's strongest heuristic (Algorithm 1, mixed).
 DEFAULT_ALGORITHM = "mixed_matching"
@@ -60,18 +63,42 @@ class BundlingSolver:
             )
         self.engine_config = engine_config
 
-    def fit(self, wtp, metadata: dict | None = None) -> BundlingSolution:
+    def fit(
+        self,
+        wtp,
+        metadata: dict | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 1,
+    ) -> BundlingSolution:
         """Mine a configuration for *wtp* and package it as a solution.
 
         ``wtp`` is anything :class:`WTPMatrix` accepts (matrix, dense array,
-        SciPy sparse).  ``metadata`` is carried verbatim into the solution
-        (merged over the fitted population's dimensions).
+        SciPy sparse); malformed input — non-finite or negative entries,
+        ragged rows — raises :class:`ValidationError` before any pricing
+        runs.  ``metadata`` is carried verbatim into the solution (merged
+        over the fitted population's dimensions).
+
+        With ``checkpoint_path`` set, the fit persists a restartable
+        checkpoint every ``checkpoint_every`` completed iterations (see
+        :mod:`repro.api.checkpoint`); a crashed fit restarts from the last
+        one via :meth:`resume` and produces the identical solution.
         """
         if not isinstance(wtp, WTPMatrix):
             wtp = WTPMatrix(wtp)
-        return self.fit_engine(self.engine_config.build(wtp), metadata=metadata)
+        return self.fit_engine(
+            self.engine_config.build(wtp),
+            metadata=metadata,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
 
-    def fit_engine(self, engine, metadata: dict | None = None) -> BundlingSolution:
+    def fit_engine(
+        self,
+        engine,
+        metadata: dict | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 1,
+    ) -> BundlingSolution:
         """:meth:`fit` on a pre-built engine (reusing its pricing caches).
 
         The engine must come from this solver's :class:`EngineConfig`
@@ -85,11 +112,69 @@ class BundlingSolver:
         same engine, so singleton pricings are computed once).
         """
         self._check_engine_provenance(engine)
-        result = self.algorithm_spec.build().fit(engine)
+        algorithm = self.algorithm_spec.build()
+        self._arm_checkpointing(algorithm, checkpoint_path, checkpoint_every)
+        result = algorithm.fit(engine)
         stamped = {"fit_n_users": engine.n_users, "fit_n_items": engine.n_items}
         stamped.update(metadata or {})
         return BundlingSolution.from_result(
             result, self.engine_config, self.algorithm_spec, metadata=stamped
+        )
+
+    def _arm_checkpointing(self, algorithm, checkpoint_path, checkpoint_every) -> None:
+        """Install the checkpoint knobs on a freshly built algorithm.
+
+        Set as instance attributes (the class defaults are ``None``/1), so
+        registry-validated constructor signatures stay untouched and two
+        solvers never share checkpoint state.
+        """
+        if checkpoint_path is None:
+            if checkpoint_every != 1:
+                raise ValidationError(
+                    "checkpoint_every requires a checkpoint_path"
+                )
+            return
+        algorithm.checkpoint_path = Path(checkpoint_path)
+        algorithm.checkpoint_every = check_positive_int(
+            checkpoint_every, "checkpoint_every"
+        )
+        algorithm._checkpoint_provenance = (self.engine_config, self.algorithm_spec)
+
+    @classmethod
+    def resume(cls, checkpoint_path, wtp, metadata: dict | None = None) -> BundlingSolution:
+        """Restart a checkpointed fit from its last completed iteration.
+
+        ``wtp`` must be the same population the original fit ran on (array
+        shapes are verified; content is the caller's contract, like any
+        serving alignment).  The solver, engine, and algorithm are rebuilt
+        from the provenance stored in the checkpoint, checkpointing
+        continues to the same path at the recorded cadence, and the
+        finished solution is identical to the uninterrupted fit's —
+        including its provenance payloads — so resuming is invisible
+        downstream.
+        """
+        from repro.api.checkpoint import FitCheckpoint
+
+        checkpoint = FitCheckpoint.load(checkpoint_path)
+        solver = cls(
+            AlgorithmSpec.from_dict(checkpoint.algorithm_spec),
+            EngineConfig.from_dict(checkpoint.engine_config),
+        )
+        if not isinstance(wtp, WTPMatrix):
+            wtp = WTPMatrix(wtp)
+        engine = solver.engine_config.build(wtp)
+        algorithm = solver.algorithm_spec.build()
+        checkpoint.check_algorithm(algorithm)
+        checkpoint.check_population(engine.n_users)
+        solver._arm_checkpointing(
+            algorithm, checkpoint_path, checkpoint.checkpoint_every
+        )
+        algorithm._resume_from = checkpoint
+        result = algorithm.fit(engine)
+        stamped = {"fit_n_users": engine.n_users, "fit_n_items": engine.n_items}
+        stamped.update(metadata or {})
+        return BundlingSolution.from_result(
+            result, solver.engine_config, solver.algorithm_spec, metadata=stamped
         )
 
     def _check_engine_provenance(self, engine) -> None:

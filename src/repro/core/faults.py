@@ -1,0 +1,220 @@
+"""Deterministic fault injection for resilience testing.
+
+Production throws faults the unit tests never do: a worker process OOM-killed
+mid-scan, ``/dev/shm`` filling up under a co-tenant, a pool that hangs.  The
+resilience layer (:mod:`repro.core.retry`, the retry/degradation logic in
+:mod:`repro.core.kernels`, the staging fallback in
+:mod:`repro.core.revenue`) exists to survive exactly those events — and this
+module makes them reproducible on demand, so ``tests/test_resilience.py``
+and the CI chaos job can exercise every recovery path deterministically.
+
+Faults are declared in the ``REPRO_FAULT_INJECT`` environment variable (so
+spawned worker processes inherit them) as a comma-separated list of
+``site:trigger`` rules::
+
+    REPRO_FAULT_INJECT="worker_crash:0.1,shm_alloc:once,chunk_timeout:3"
+
+Sites consulted by the engine stack:
+
+``worker_crash``
+    A process-executor worker SIGKILLs itself before pricing a chunk
+    (only ever fires inside a worker process — never in the parent).
+``chunk_timeout``
+    A worker sleeps for the rule's numeric argument (seconds) before each
+    chunk, so a configured per-scan wall-clock timeout trips.
+``shm_alloc``
+    :class:`~repro.core.shm.SharedWTPStore` allocation raises
+    :class:`~repro.errors.SharedMemoryError` (as if ``/dev/shm`` were full).
+``thread_pool``
+    The thread executor fails to start its pool (as if the process hit its
+    thread limit), exercising the ``thread → serial`` rung of the ladder.
+``fit_crash``
+    The fitting process SIGKILLs itself while writing a checkpoint — the
+    hard-kill half of the checkpoint/resume tests.
+
+Trigger grammar (per rule):
+
+``once``
+    Fire on the first consultation (per process), never again.
+``always``
+    Fire on every consultation.
+``0.25`` (a float in ``(0, 1)``, written with a decimal point)
+    Fire with that probability, drawn from a :class:`random.Random` seeded
+    by ``REPRO_FAULT_SEED`` (default 0) — deterministic per process.
+``3`` (any other number)
+    Fire on every consultation with ``3.0`` as the numeric argument
+    (:func:`fire` returns it; the ``chunk_timeout`` site reads it as a
+    sleep duration, ``fit_crash`` as the 1-based consultation index to die
+    on).
+``latch:/path/to/file``
+    Fire exactly once *across processes*: the first consulting process to
+    atomically create the latch file fires, everyone else (and every later
+    consultation) passes.  This is how a test arranges "exactly one worker
+    crashes, the rebuilt pool succeeds".
+
+Consultation is cheap (one env read + dict lookup when no spec is set), and
+parsing is cached per spec string, so tests can flip the env var between
+cases without explicit resets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import threading
+import zlib
+
+from repro.errors import ValidationError
+
+#: Environment variable holding the fault spec (inherited by spawned workers).
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+#: Environment variable seeding probabilistic triggers (default 0).
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+#: Trigger modes a rule can carry.
+_MODES = ("once", "always", "probability", "value", "latch")
+
+
+class FaultRule:
+    """One parsed ``site:trigger`` rule with its per-process firing state."""
+
+    __slots__ = ("site", "mode", "value", "path", "_fired", "_count", "_rng")
+
+    def __init__(self, site: str, mode: str, value: float = 1.0, path: str | None = None):
+        if mode not in _MODES:
+            raise ValidationError(f"unknown fault mode {mode!r} for site {site!r}")
+        self.site = site
+        self.mode = mode
+        self.value = float(value)
+        self.path = path
+        self._fired = False
+        self._count = 0
+        seed = 0
+        try:
+            seed = int(os.environ.get(FAULT_SEED_ENV, "0"))
+        except ValueError:
+            pass
+        # Offset by the site name (stable CRC, not the per-process str
+        # hash) so two probabilistic sites in one spec do not share a
+        # decision sequence, yet the sequence is identical across runs.
+        self._rng = random.Random(seed ^ zlib.crc32(site.encode("utf-8")))
+
+    def consult(self) -> float | None:
+        """The rule's numeric argument when the fault fires, else ``None``."""
+        self._count += 1
+        if self.mode == "once":
+            if self._fired:
+                return None
+            self._fired = True
+            return self.value
+        if self.mode == "always" or self.mode == "value":
+            return self.value
+        if self.mode == "probability":
+            return self.value if self._rng.random() < self.value else None
+        # latch: first process to create the file wins the (single) fault.
+        assert self.path is not None
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        except OSError:
+            return None  # unreachable latch directory: fail open (no fault)
+        os.close(fd)
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FaultRule(site={self.site!r}, mode={self.mode!r}, value={self.value})"
+
+
+def parse_fault_spec(spec: str) -> dict[str, FaultRule]:
+    """Parse a ``REPRO_FAULT_INJECT`` value into site-keyed rules."""
+    rules: dict[str, FaultRule] = {}
+    for raw in spec.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if ":" not in raw:
+            raise ValidationError(
+                f"fault rule {raw!r} must look like 'site:trigger' "
+                f"(spec: {spec!r})"
+            )
+        site, trigger = raw.split(":", 1)
+        site = site.strip()
+        trigger = trigger.strip()
+        if not site:
+            raise ValidationError(f"fault rule {raw!r} is missing a site name")
+        if site in rules:
+            raise ValidationError(f"duplicate fault rule for site {site!r}")
+        if trigger == "once":
+            rules[site] = FaultRule(site, "once")
+        elif trigger == "always":
+            rules[site] = FaultRule(site, "always")
+        elif trigger.startswith("latch:"):
+            path = trigger[len("latch:"):]
+            if not path:
+                raise ValidationError(f"fault rule {raw!r} needs a latch path")
+            rules[site] = FaultRule(site, "latch", path=path)
+        else:
+            try:
+                value = float(trigger)
+            except ValueError:
+                raise ValidationError(
+                    f"fault trigger {trigger!r} for site {site!r} is not "
+                    "once/always/latch:<path>/a number"
+                ) from None
+            if value <= 0:
+                raise ValidationError(
+                    f"fault trigger for site {site!r} must be positive, got {value}"
+                )
+            if "." in trigger and value < 1.0:
+                rules[site] = FaultRule(site, "probability", value)
+            else:
+                rules[site] = FaultRule(site, "value", value)
+    return rules
+
+
+# Parsed rules are cached per spec string: rule state (once-fired flags,
+# RNG position, counters) must persist across consultations, and tests
+# flipping the env var get a fresh rule set automatically.
+_CACHE_LOCK = threading.Lock()
+_CACHED_SPEC: str | None = None
+_CACHED_RULES: dict[str, FaultRule] = {}
+
+
+def _rules() -> dict[str, FaultRule]:
+    global _CACHED_SPEC, _CACHED_RULES
+    spec = os.environ.get(FAULT_ENV, "")
+    with _CACHE_LOCK:
+        if spec != _CACHED_SPEC:
+            _CACHED_RULES = parse_fault_spec(spec) if spec else {}
+            _CACHED_SPEC = spec
+        return _CACHED_RULES
+
+
+def fire(site: str) -> float | None:
+    """Consult the injector for *site*.
+
+    Returns the rule's numeric argument when the fault fires, ``None`` when
+    no fault is configured for the site or the trigger does not fire.  The
+    no-spec fast path is one env read and one dict lookup.
+    """
+    rule = _rules().get(site)
+    if rule is None:
+        return None
+    return rule.consult()
+
+
+def reset() -> None:
+    """Drop cached rule state (tests re-arming ``once`` triggers)."""
+    global _CACHED_SPEC, _CACHED_RULES
+    with _CACHE_LOCK:
+        _CACHED_SPEC = None
+        _CACHED_RULES = {}
+
+
+def in_worker() -> bool:
+    """True inside a multiprocessing worker (``worker_crash`` never fires
+    in the parent — a SIGKILL there would take the whole fit down)."""
+    return multiprocessing.parent_process() is not None

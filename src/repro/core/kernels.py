@@ -48,6 +48,23 @@ and every chunk's pricing is column-independent and internally reduced
 through fixed-tree sums, all three executors produce bit-identical results
 for any worker count and chunk budget.
 
+Resilience
+----------
+That same chunk purity makes the executors *recoverable*: a chunk (or a
+whole scan) may be re-executed after a failure without changing a bit of
+the result.  Process scans run under a :class:`~repro.core.retry.RetryPolicy`
+— a broken pool (worker OOM-killed, SIGKILLed, or crashed mid-chunk) is
+torn down and rebuilt with exponential backoff, re-running only the chunk
+subsets that never completed; a per-scan wall-clock timeout kills hung
+workers and raises :class:`~repro.errors.ScanTimeoutError`.  When retries
+are exhausted the scan *degrades* one executor rung — ``process → thread →
+serial`` — emitting a :class:`~repro.core.retry.DegradedExecutionWarning`
+instead of aborting the fit.  Only the :class:`~repro.errors.ExecutorError`
+family degrades; a deterministic exception raised by the fill or pricing
+arithmetic would fail identically on every rung and propagates immediately.
+Recovery paths are exercised deterministically through
+:mod:`repro.core.faults`.
+
 Also here: the LRU cache that keeps :class:`~repro.core.revenue.RevenueEngine`'s
 per-bundle raw-WTP vectors memory-flat over long greedy runs.
 """
@@ -56,14 +73,20 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import threading
+import time
 import traceback
+import warnings
 from collections import OrderedDict
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.adoption import AdoptionModel
 from repro.core.pricing import (
     DEFAULT_CHUNK_ELEMENTS,
@@ -73,7 +96,12 @@ from repro.core.pricing import (
     price_pure_batch,
     resolve_mixed_kernel,
 )
-from repro.errors import ValidationError
+from repro.core.retry import (
+    DegradedExecutionWarning,
+    RetryPolicy,
+    check_retry_policy,
+)
+from repro.errors import ExecutorError, ScanTimeoutError, ValidationError
 
 #: Per-candidate fill buffers of the mixed scan: one ``(M, width)`` column
 #: each for bundle WTP, base score, and base payment.  ``chunk_width``
@@ -206,7 +234,18 @@ def run_chunks(
         finally:
             del buffers
 
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+    if faults.fire("thread_pool") is not None:
+        raise ExecutorError(
+            "injected thread-pool failure (as if the process thread limit "
+            "were exhausted)"
+        )
+    try:
+        pool = ThreadPoolExecutor(max_workers=n_workers)
+    except (RuntimeError, OSError) as error:
+        # Thread creation can fail under RLIMIT_NPROC / memory pressure;
+        # surface it as an ExecutorError so the ladder can fall to serial.
+        raise ExecutorError(f"thread pool unavailable: {error}") from error
+    with pool:
         futures = [pool.submit(worker, index) for index in range(n_workers)]
         errors = [future.exception() for future in futures]
     first_error = next((error for error in errors if error is not None), None)
@@ -260,6 +299,24 @@ def _close_fill(fill) -> None:
     closer = getattr(fill, "close", None)
     if closer is not None:
         closer()
+
+
+def _worker_fault_point() -> None:
+    """Consult the fault injector before pricing a chunk (workers only).
+
+    ``worker_crash`` SIGKILLs the worker process — the parent sees a
+    ``BrokenProcessPool``, exactly as after an OOM kill.  ``chunk_timeout``
+    sleeps for the rule's argument, so a configured ``scan_timeout`` trips.
+    Both are no-ops in the parent process: a self-SIGKILL there would take
+    the whole fit down instead of simulating a lost worker.
+    """
+    if not faults.in_worker():
+        return
+    if faults.fire("worker_crash") is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    delay = faults.fire("chunk_timeout")
+    if delay is not None:
+        time.sleep(delay)
 
 
 def _price_pure_chunk(fill, buffer, start, stop, adoption, grid, chunk_elements):
@@ -326,6 +383,7 @@ def _pure_chunk_subset(
     results = []
     try:
         for start, stop in chunks:
+            _worker_fault_point()
             p, r, b = _price_pure_chunk(
                 fill, buffer, start, stop, adoption, grid, chunk_elements
             )
@@ -343,6 +401,7 @@ def _mixed_chunk_subset(
     results = []
     try:
         for start, stop in chunks:
+            _worker_fault_point()
             p, g, u, f = _price_mixed_chunk(
                 fill_pair, buffers, start, stop, adoption, grid, chunk_elements, kernel
             )
@@ -352,7 +411,33 @@ def _mixed_chunk_subset(
     return results
 
 
-def _run_process_chunks(worker, fill, chunks, n_workers: int, kwargs: dict) -> list:
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a process pool down hard: kill every worker, never join a hung one.
+
+    ``shutdown(wait=True)`` would block on workers that are hung (the very
+    condition a scan timeout exists to escape) or sleeping; killing first
+    makes teardown prompt on every abnormal path.  Reaching into
+    ``_processes`` is deliberate — the executor API offers no kill — and is
+    guarded so a future stdlib rename degrades to a non-waiting shutdown
+    rather than an AttributeError.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):  # already dead / exotic Process impl
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_process_chunks(
+    worker,
+    fill,
+    chunks,
+    n_workers: int,
+    kwargs: dict,
+    policy: RetryPolicy | None = None,
+) -> list:
     """Fan strided chunk subsets over a process pool; return all chunk results.
 
     Each worker receives every ``n_workers``-th chunk of the *serial*
@@ -360,18 +445,101 @@ def _run_process_chunks(worker, fill, chunks, n_workers: int, kwargs: dict) -> l
     ``fill``; the pool is per-scan, so worker processes never outlive the
     scan (and their shared-memory attachments die with them even if
     :func:`_close_fill` was skipped by a crash).
+
+    Runs under *policy*: a ``BrokenProcessPool`` (worker SIGKILLed or
+    crashed) tears the pool down hard, backs off, rebuilds, and re-runs
+    only the subsets that never completed — chunk purity makes the merged
+    result bit-identical to an undisturbed scan.  After ``max_attempts``
+    broken pools the scan raises :class:`~repro.errors.ExecutorError`; when
+    ``scan_timeout`` elapses first it raises
+    :class:`~repro.errors.ScanTimeoutError` (no retry — the budget is for
+    the whole scan).  Exceptions *raised by* a worker propagate untouched:
+    they are deterministic and would recur on any attempt.
     """
-    with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=_mp_context()
-    ) as pool:
-        futures = [
-            pool.submit(worker, fill, chunks[index::n_workers], **kwargs)
-            for index in range(n_workers)
-        ]
-        results: list = []
-        for future in futures:
-            results.extend(future.result())
-    return results
+    policy = check_retry_policy(policy)
+    pending = {index: chunks[index::n_workers] for index in range(n_workers)}
+    results: list = []
+    deadline = None
+    if policy.scan_timeout is not None:
+        deadline = time.monotonic() + policy.scan_timeout
+    last_error: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        pool = ProcessPoolExecutor(
+            max_workers=min(n_workers, len(pending)), mp_context=_mp_context()
+        )
+        broken: BaseException | None = None
+        try:
+            futures = {
+                index: pool.submit(worker, fill, subset, **kwargs)
+                for index, subset in pending.items()
+            }
+            for index, future in list(futures.items()):
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    subset_results = future.result(timeout=remaining)
+                except FuturesTimeoutError:
+                    raise ScanTimeoutError(
+                        f"streamed scan exceeded its {policy.scan_timeout:g}s "
+                        f"wall-clock budget with {len(pending)} chunk "
+                        "subset(s) unfinished"
+                    ) from None
+                results.extend(subset_results)
+                del pending[index]
+        except BrokenProcessPool as error:
+            broken = error
+        except BaseException:
+            _terminate_pool(pool)
+            raise
+        if broken is None:
+            pool.shutdown(wait=True)
+            return results
+        _terminate_pool(pool)
+        last_error = broken
+        if attempt < policy.max_attempts:
+            time.sleep(policy.delay(attempt))
+    raise ExecutorError(
+        f"process pool broke {policy.max_attempts} time(s) in a row; "
+        f"{len(pending)} chunk subset(s) never completed"
+    ) from last_error
+
+
+def _degrade(
+    policy: RetryPolicy,
+    scan: str,
+    from_executor: str,
+    to_executor: str,
+    error: BaseException,
+) -> None:
+    """One rung down the ladder: warn, or re-raise when degradation is off."""
+    if not policy.degrade:
+        raise error
+    _release_scan_frames(error)
+    warnings.warn(
+        DegradedExecutionWarning(scan, from_executor, to_executor, error),
+        stacklevel=3,
+    )
+
+
+def _run_chunks_resilient(
+    scan: str,
+    chunks,
+    make_buffers,
+    process,
+    executor: str,
+    n_workers: int,
+    policy: RetryPolicy,
+) -> None:
+    """The thread → serial rungs of the ladder (the process rung lives in
+    the stream functions, whose process path bypasses ``run_chunks``)."""
+    if executor == "thread" and n_workers > 1:
+        try:
+            run_chunks(chunks, make_buffers, process, n_workers)
+            return
+        except ExecutorError as error:
+            _degrade(policy, scan, "thread", "serial", error)
+    run_chunks(chunks, make_buffers, process, 1)
 
 
 # -------------------------------------------------------------- pure streaming
@@ -384,6 +552,7 @@ def stream_pure_prices(
     chunk_elements: int | None = DEFAULT_CHUNK_ELEMENTS,
     n_workers: int = 1,
     executor: str = "thread",
+    retry: RetryPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Streamed :func:`~repro.core.pricing.price_pure_batch` over *n_columns*.
 
@@ -399,8 +568,13 @@ def stream_pure_prices(
 
     Returns ``(prices, revenues, buyers)`` of length ``n_columns`` —
     bit-identical to pricing one giant stacked array, at bounded memory,
-    for any chunk budget, worker count, and executor.
+    for any chunk budget, worker count, and executor.  *retry* governs the
+    process path's retries/timeout and whether the scan may degrade
+    ``process → thread → serial`` instead of raising (see the module
+    docstring); a degraded scan stays bit-identical, because the chunk
+    schedule and arithmetic never depend on the executor.
     """
+    retry = check_retry_policy(retry)
     prices = np.zeros(n_columns)
     revenues = np.zeros(n_columns)
     buyers = np.zeros(n_columns)
@@ -409,25 +583,33 @@ def stream_pure_prices(
     width = chunk_width(n_columns, n_users, chunk_elements)
     chunks = list(iter_chunks(n_columns, width))
     executor, n_workers = _resolve_execution(executor, n_workers, len(chunks))
+    degraded_from_process = False
     if executor == "process":
-        chunk_results = _run_process_chunks(
-            _pure_chunk_subset,
-            fill,
-            chunks,
-            n_workers,
-            dict(
-                n_users=n_users,
-                width=width,
-                adoption=adoption,
-                grid=grid,
-                chunk_elements=chunk_elements,
-            ),
-        )
-        for start, stop, p, r, b in chunk_results:
-            prices[start:stop] = p
-            revenues[start:stop] = r
-            buyers[start:stop] = b
-        return prices, revenues, buyers
+        try:
+            chunk_results = _run_process_chunks(
+                _pure_chunk_subset,
+                fill,
+                chunks,
+                n_workers,
+                dict(
+                    n_users=n_users,
+                    width=width,
+                    adoption=adoption,
+                    grid=grid,
+                    chunk_elements=chunk_elements,
+                ),
+                retry,
+            )
+        except ExecutorError as error:
+            _degrade(retry, "pure-scan", "process", "thread", error)
+            degraded_from_process = True
+            executor = "thread"
+        else:
+            for start, stop, p, r, b in chunk_results:
+                prices[start:stop] = p
+                revenues[start:stop] = r
+                buyers[start:stop] = b
+            return prices, revenues, buyers
 
     def make_buffers() -> tuple:
         return (np.empty((n_users, width), dtype=np.float64),)
@@ -441,7 +623,15 @@ def stream_pure_prices(
         revenues[start:stop] = r
         buyers[start:stop] = b
 
-    run_chunks(chunks, make_buffers, process, n_workers)
+    try:
+        _run_chunks_resilient(
+            "pure-scan", chunks, make_buffers, process, executor, n_workers, retry
+        )
+    finally:
+        if degraded_from_process:
+            # The picklable shared-memory fill was meant for workers; the
+            # fallback ran it in-parent, so release its attachments here.
+            _close_fill(fill)
     return prices, revenues, buyers
 
 
@@ -456,6 +646,7 @@ def stream_mixed_merges(
     n_workers: int = 1,
     mixed_kernel: str = "band",
     executor: str = "thread",
+    retry: RetryPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Streamed mixed-merge pricing over *n_pairs* candidates.
 
@@ -482,7 +673,11 @@ def stream_mixed_merges(
     model.
 
     Returns ``(prices, gains, upgraded, feasible)`` of length ``n_pairs``.
+    *retry* governs the process path's retries/timeout and the
+    ``process → thread → serial`` degradation ladder, exactly as in
+    :func:`stream_pure_prices`.
     """
+    retry = check_retry_policy(retry)
     kernel = (
         price_mixed_bundle_batch_sorted
         if resolve_mixed_kernel(mixed_kernel, adoption) == "sorted"
@@ -497,27 +692,35 @@ def stream_mixed_merges(
     width = chunk_width(n_pairs, n_users, chunk_elements, MIXED_FILL_BUFFERS)
     chunks = list(iter_chunks(n_pairs, width))
     executor, n_workers = _resolve_execution(executor, n_workers, len(chunks))
+    degraded_from_process = False
     if executor == "process":
-        chunk_results = _run_process_chunks(
-            _mixed_chunk_subset,
-            fill_pair,
-            chunks,
-            n_workers,
-            dict(
-                n_users=n_users,
-                width=width,
-                adoption=adoption,
-                grid=grid,
-                chunk_elements=chunk_elements,
-                kernel=kernel,
-            ),
-        )
-        for start, stop, p, g, u, f in chunk_results:
-            prices[start:stop] = p
-            gains[start:stop] = g
-            upgraded[start:stop] = u
-            feasible[start:stop] = f
-        return prices, gains, upgraded, feasible
+        try:
+            chunk_results = _run_process_chunks(
+                _mixed_chunk_subset,
+                fill_pair,
+                chunks,
+                n_workers,
+                dict(
+                    n_users=n_users,
+                    width=width,
+                    adoption=adoption,
+                    grid=grid,
+                    chunk_elements=chunk_elements,
+                    kernel=kernel,
+                ),
+                retry,
+            )
+        except ExecutorError as error:
+            _degrade(retry, "mixed-scan", "process", "thread", error)
+            degraded_from_process = True
+            executor = "thread"
+        else:
+            for start, stop, p, g, u, f in chunk_results:
+                prices[start:stop] = p
+                gains[start:stop] = g
+                upgraded[start:stop] = u
+                feasible[start:stop] = f
+            return prices, gains, upgraded, feasible
 
     def make_buffers() -> tuple:
         return _mixed_scan_buffers(n_users, width)
@@ -531,7 +734,13 @@ def stream_mixed_merges(
         upgraded[start:stop] = u
         feasible[start:stop] = f
 
-    run_chunks(chunks, make_buffers, process, n_workers)
+    try:
+        _run_chunks_resilient(
+            "mixed-scan", chunks, make_buffers, process, executor, n_workers, retry
+        )
+    finally:
+        if degraded_from_process:
+            _close_fill(fill_pair)
     return prices, gains, upgraded, feasible
 
 

@@ -1,0 +1,167 @@
+"""Retry policy and degradation ladder for the streaming scans.
+
+The streamed pair scans are *chunk-pure*: every chunk's pricing depends
+only on its own inputs and all reductions run through fixed-tree sums, so
+a chunk may be re-executed — on the same executor after a pool rebuild, or
+on a lower rung of the ``process → thread → serial`` ladder — without
+changing a single bit of the scan's result.  That purity is what makes the
+resilience layer safe: retrying and degrading are *correctness-neutral*,
+they only trade throughput for survival.
+
+:class:`RetryPolicy`
+    The knobs: bounded attempts with exponential backoff for pool-fabric
+    failures (a ``BrokenProcessPool`` after a worker OOM/SIGKILL), an
+    optional per-scan wall-clock timeout (a hung worker must not stall a
+    fit forever), and whether the executor ladder may engage at all.
+
+:class:`DegradedExecutionWarning`
+    The structured warning emitted whenever a scan falls back one rung.
+    It carries the scan kind, the rung it left, the rung it landed on, and
+    the triggering error — monitorable by ``warnings`` filters without
+    parsing message strings.
+
+The policy travels with the engine (``RevenueEngine(retry=...)``) and
+serializes through :class:`repro.api.EngineConfig`, so a persisted
+solution records the resilience posture of the fit that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+#: Maximum attempts a policy may ask for (a runaway-retry backstop).
+MAX_ATTEMPTS_CAP = 16
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resilience knobs for one engine's streamed scans.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per process scan, including the first (default 3;
+        1 disables retries).  Only pool-fabric failures are retried — a
+        deterministic exception raised by the scan arithmetic propagates
+        immediately, since re-running it would fail identically.
+    backoff:
+        Seconds slept before the second attempt (default 0.05); each later
+        attempt multiplies it by ``backoff_factor``.
+    backoff_factor:
+        Exponential backoff multiplier (default 2.0).
+    scan_timeout:
+        Per-scan wall-clock budget in seconds (default ``None`` — no
+        timeout).  On expiry the pool is torn down hard (hung workers are
+        killed) and the scan raises
+        :class:`~repro.errors.ScanTimeoutError` — or degrades to the
+        thread path when ``degrade`` is on.
+    degrade:
+        Whether the executor ladder may engage (default True).  When off,
+        exhausted retries and timeouts raise instead of falling back, for
+        callers that prefer fail-fast over degraded throughput.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    scan_timeout: float | None = None
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if (
+            isinstance(self.max_attempts, bool)
+            or not isinstance(self.max_attempts, int)
+            or not 1 <= self.max_attempts <= MAX_ATTEMPTS_CAP
+        ):
+            raise ValidationError(
+                f"max_attempts must be an int in [1, {MAX_ATTEMPTS_CAP}], "
+                f"got {self.max_attempts!r}"
+            )
+        backoff = float(self.backoff)
+        if not backoff >= 0.0:  # rejects NaN too
+            raise ValidationError(f"backoff must be >= 0, got {self.backoff!r}")
+        object.__setattr__(self, "backoff", backoff)
+        factor = float(self.backoff_factor)
+        if not factor >= 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        object.__setattr__(self, "backoff_factor", factor)
+        if self.scan_timeout is not None:
+            timeout = float(self.scan_timeout)
+            if not timeout > 0.0:
+                raise ValidationError(
+                    f"scan_timeout must be positive or None, got {self.scan_timeout!r}"
+                )
+            object.__setattr__(self, "scan_timeout", timeout)
+        if not isinstance(self.degrade, bool):
+            raise ValidationError(f"degrade must be a bool, got {self.degrade!r}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt number *attempt*."""
+        return self.backoff * self.backoff_factor ** max(0, attempt - 1)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff": self.backoff,
+            "backoff_factor": self.backoff_factor,
+            "scan_timeout": self.scan_timeout,
+            "degrade": self.degrade,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetryPolicy":
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"RetryPolicy payload must be a dict, got {type(payload).__name__}"
+            )
+        known = {"max_attempts", "backoff", "backoff_factor", "scan_timeout", "degrade"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown RetryPolicy keys: {', '.join(unknown)}; known: "
+                f"{', '.join(sorted(known))}"
+            )
+        return cls(**payload)
+
+
+def check_retry_policy(retry) -> RetryPolicy:
+    """Normalize a policy, a payload dict, or ``None`` (defaults) to a policy."""
+    if retry is None:
+        return RetryPolicy()
+    if isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, dict):
+        return RetryPolicy.from_dict(retry)
+    raise ValidationError(
+        f"retry must be a RetryPolicy, dict, or None, got {type(retry).__name__}"
+    )
+
+
+class DegradedExecutionWarning(UserWarning):
+    """A scan fell back one executor rung instead of failing the fit.
+
+    Attributes
+    ----------
+    scan:
+        Which scan degraded (``"pure-scan"``, ``"mixed-scan"``,
+        ``"pure-staging"``, ``"mixed-staging"``).
+    from_executor / to_executor:
+        The rung left and the rung landed on.
+    cause:
+        The triggering exception.
+    """
+
+    def __init__(self, scan: str, from_executor: str, to_executor: str, cause: BaseException):
+        self.scan = scan
+        self.from_executor = from_executor
+        self.to_executor = to_executor
+        self.cause = cause
+        super().__init__(
+            f"{scan}: degraded {from_executor} -> {to_executor} after "
+            f"{type(cause).__name__}: {cause}"
+        )

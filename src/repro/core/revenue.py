@@ -31,6 +31,7 @@ revisit surviving bundles across iterations.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
@@ -45,6 +46,11 @@ from repro.core.kernels import (
     check_n_workers,
     stream_mixed_merges,
     stream_pure_prices,
+)
+from repro.core.retry import (
+    DegradedExecutionWarning,
+    RetryPolicy,
+    check_retry_policy,
 )
 from repro.core.shm import SharedMixedFill, SharedPairFill, SharedWTPStore
 from repro.core.pricing import (
@@ -62,7 +68,7 @@ from repro.core.support import (
 )
 from repro.core.bundle import Bundle
 from repro.core.wtp import WTPMatrix, _resolve_dtype
-from repro.errors import PricingError, ValidationError
+from repro.errors import PricingError, SharedMemoryError, ValidationError
 from repro.utils.validation import check_fraction
 
 
@@ -189,6 +195,16 @@ class RevenueEngine:
         deterministic, band otherwise).  The two kernels agree to float
         accumulation order (~1e-9 relative on gains; identical prices and
         upgrade counts).
+    retry:
+        :class:`~repro.core.retry.RetryPolicy` (or its dict payload, or
+        ``None`` for the defaults) governing the streamed scans' resilience:
+        bounded pool-rebuild retries with exponential backoff, an optional
+        per-scan wall-clock timeout, and the ``process → thread → serial``
+        degradation ladder.  Shared-memory staging failures (``/dev/shm``
+        full) likewise degrade the scan to the thread path instead of
+        aborting the fit.  Every retry and fallback path is bit-identical
+        to the serial scan — the chunk schedule and arithmetic never depend
+        on the executor.
     """
 
     def __init__(
@@ -206,6 +222,7 @@ class RevenueEngine:
         state_dtype: str | None = None,
         mixed_kernel: str = "auto",
         executor: str = "thread",
+        retry: RetryPolicy | dict | None = None,
     ) -> None:
         if not isinstance(wtp, WTPMatrix):
             wtp = WTPMatrix(wtp)
@@ -221,6 +238,7 @@ class RevenueEngine:
         self.chunk_elements = check_chunk_elements(chunk_elements)
         self.n_workers = check_n_workers(n_workers)
         self.executor = check_executor(executor)
+        self.retry = check_retry_policy(retry)
         self.state_dtype = np.dtype(_resolve_dtype(state_dtype))
         self.mixed_kernel = check_mixed_kernel(mixed_kernel)
         # Resolve "auto" eagerly: an explicit "sorted" request the engine
@@ -309,6 +327,21 @@ class RevenueEngine:
         """Executor for scans whose fill cannot be pickled (closure fills)."""
         return "serial" if self.executor == "serial" else "thread"
 
+    def _degrade_staging(self, scan: str, error: BaseException) -> None:
+        """Shared-memory staging failed: warn and fall to the thread path.
+
+        Raised *before* any pricing runs (allocation/copy-in happens up
+        front), so the closure-fill re-scan prices every candidate afresh —
+        bit-identical to what the process scan would have produced.  With
+        degradation disabled the error propagates instead.
+        """
+        if not self.retry.degrade:
+            raise error
+        warnings.warn(
+            DegradedExecutionWarning(scan, "process", "thread", error),
+            stacklevel=3,
+        )
+
     def _price_streamed(
         self, missing: Sequence[Bundle], fill, executor: str | None = None
     ) -> None:
@@ -322,6 +355,7 @@ class RevenueEngine:
             self.chunk_elements,
             n_workers=self.n_workers,
             executor=executor or self._fallback_executor(),
+            retry=self.retry,
         )
         self.stats.pure_pricings += len(missing)
         self.stats.batch_calls += 1
@@ -378,9 +412,14 @@ class RevenueEngine:
                 missing.append(bundle)
                 missing_pairs.append(pairs[k])
             if missing:
-                if self._scan_executor() == "process":
-                    self._price_merges_shared(priced, missing, missing_pairs)
-                else:
+                use_shared = self._scan_executor() == "process"
+                if use_shared:
+                    try:
+                        self._price_merges_shared(priced, missing, missing_pairs)
+                    except SharedMemoryError as error:
+                        self._degrade_staging("pure-staging", error)
+                        use_shared = False
+                if not use_shared:
 
                     def fill(block: np.ndarray, start: int, stop: int) -> None:
                         for offset in range(stop - start):
@@ -501,11 +540,13 @@ class RevenueEngine:
             return results
 
         merged_bundles = [priced[i].bundle | priced[j].bundle for i, j in pairs]
+        scan: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
         if self._scan_executor() == "process":
-            prices, gains, upgraded, feasible = self._mixed_merges_shared(
-                priced, states, pairs
-            )
-        else:
+            try:
+                scan = self._mixed_merges_shared(priced, states, pairs)
+            except SharedMemoryError as error:
+                self._degrade_staging("mixed-staging", error)
+        if scan is None:
 
             def fill_pair(
                 k: int, wtp_col: np.ndarray, score_col: np.ndarray, pay_col: np.ndarray
@@ -529,7 +570,7 @@ class RevenueEngine:
                 np.add(states[i].pay, states[j].pay, out=pay_col, dtype=np.float64)
                 return max(first.price, second.price), first.price + second.price
 
-            prices, gains, upgraded, feasible = stream_mixed_merges(
+            scan = stream_mixed_merges(
                 fill_pair,
                 len(pairs),
                 self.n_users,
@@ -539,7 +580,9 @@ class RevenueEngine:
                 n_workers=self.n_workers,
                 mixed_kernel=self.mixed_kernel,
                 executor=self._fallback_executor(),
+                retry=self.retry,
             )
+        prices, gains, upgraded, feasible = scan
         return [
             MixedMerge(
                 bundle=merged_bundles[k],
@@ -587,6 +630,7 @@ class RevenueEngine:
                 n_workers=self.n_workers,
                 mixed_kernel=self.mixed_kernel,
                 executor="process",
+                retry=self.retry,
             )
 
     def mixed_merge(

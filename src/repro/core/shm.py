@@ -36,18 +36,48 @@ Workers attach with tracking disabled where Python supports it
 that unlinks.  On earlier versions the duplicate attach-side registration
 is harmless — pool workers inherit the parent's resource tracker, whose
 name-keyed cache the parent's own unlink clears (see :func:`_attach`).
+
+Guardianship
+------------
+Blocks are allocated under explicit ``repro-*`` names, so a segment
+orphaned by a *hard* kill (SIGKILL skips every ``finally``) is
+identifiable on the host afterwards.  Three layers keep ``/dev/shm``
+clean:
+
+1. every store unlinks its blocks on exit, normal or exceptional;
+2. an ``atexit``/SIGTERM reaper (installed at first allocation) unlinks
+   whatever the ledger still holds when the process dies a catchable
+   death (:func:`reap_shared_blocks`);
+3. ``python -m repro shm-audit [--reap]`` lists — and on request removes —
+   ``repro-*`` segments left behind by an uncatchable kill
+   (:func:`orphaned_shared_blocks` / :func:`reap_orphaned_blocks`).
 """
 
 from __future__ import annotations
 
+import atexit
 import inspect
+import itertools
+import os
+import secrets
+import signal
 import threading
 from collections.abc import Sequence
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.core import faults
+from repro.errors import SharedMemoryError, ValidationError
+
+#: Prefix of every shared block this package allocates; the audit CLI
+#: identifies orphans by it.
+BLOCK_PREFIX = "repro-"
+
+#: Where POSIX shared memory appears as files (Linux).  ``None``-equivalent
+#: on platforms without it: the audit helpers then report nothing.
+SHM_DIR = Path("/dev/shm")
 
 #: Names of every shared block currently allocated (and not yet unlinked)
 #: by this process.  Tests assert this drains to empty after every scan —
@@ -65,6 +95,130 @@ def active_shared_blocks() -> frozenset[str]:
     """Names of shared blocks this process has allocated and not unlinked."""
     with _ACTIVE_LOCK:
         return frozenset(_ACTIVE_BLOCKS)
+
+
+# ------------------------------------------------------------------ reaping
+#: Distinguishes allocations of this process (names embed the PID) from
+#: same-host siblings, and makes collisions effectively impossible.
+_BLOCK_COUNTER = itertools.count()
+_REAPER_INSTALLED = False
+
+
+def _block_name() -> str:
+    return (
+        f"{BLOCK_PREFIX}{os.getpid():x}-"
+        f"{next(_BLOCK_COUNTER):x}-{secrets.token_hex(4)}"
+    )
+
+
+def _unlink_block(name: str) -> bool:
+    """Best-effort unlink of a named segment; True when it is gone."""
+    try:
+        segment = _attach(name)
+    except FileNotFoundError:
+        return True
+    except OSError:
+        return False
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:
+        return False
+    return True
+
+
+def reap_shared_blocks() -> list[str]:
+    """Unlink every block still on this process's ledger (idempotent).
+
+    The last line of defence for catchable deaths: registered ``atexit``
+    and on SIGTERM, and callable directly.  Returns the names actually
+    reaped; blocks that resist unlinking stay on the ledger (and visible
+    to :func:`active_shared_blocks`).
+    """
+    reaped = []
+    for name in sorted(active_shared_blocks()):
+        if _unlink_block(name):
+            reaped.append(name)
+            with _ACTIVE_LOCK:
+                _ACTIVE_BLOCKS.discard(name)
+    return reaped
+
+
+def _reap_and_chain(previous):
+    """A SIGTERM handler that reaps, then defers to the previous handler."""
+
+    def handler(signum, frame):
+        reap_shared_blocks()
+        if callable(previous):
+            previous(signum, frame)
+            return
+        # Default disposition: re-deliver with the default handler so the
+        # process still dies with the conventional termination status.
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    return handler
+
+
+def _install_reaper() -> None:
+    """Register the atexit/SIGTERM reaper once per process.
+
+    Installed lazily at first allocation, so importing the package never
+    touches global signal state.  Signal installation is skipped outside
+    the main thread (``signal.signal`` would raise) — the atexit hook
+    still covers normal exits there.
+    """
+    global _REAPER_INSTALLED
+    with _ACTIVE_LOCK:
+        if _REAPER_INSTALLED:
+            return
+        _REAPER_INSTALLED = True
+    atexit.register(reap_shared_blocks)
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+        if previous is not signal.SIG_IGN:
+            signal.signal(signal.SIGTERM, _reap_and_chain(previous))
+    except (ValueError, OSError, RuntimeError):
+        pass  # non-main thread or exotic platform: atexit still applies
+
+
+def orphaned_shared_blocks() -> list[str]:
+    """``repro-*`` segments on this host not owned by this process.
+
+    Scans :data:`SHM_DIR` (empty result where the platform has none).  A
+    block appears here after a hard kill (SIGKILL skips both the store
+    context and the reaper); ``python -m repro shm-audit`` is its CLI face.
+    """
+    if not SHM_DIR.is_dir():
+        return []
+    ours = active_shared_blocks()
+    return sorted(
+        entry.name
+        for entry in SHM_DIR.glob(BLOCK_PREFIX + "*")
+        if entry.name not in ours
+    )
+
+
+def reap_orphaned_blocks(names: Sequence[str] | None = None) -> list[str]:
+    """Unlink orphaned ``repro-*`` segments; returns the names removed.
+
+    ``names`` defaults to :func:`orphaned_shared_blocks`.  Non-``repro-*``
+    names are rejected — this function must never be able to remove a
+    stranger's segments.
+    """
+    if names is None:
+        names = orphaned_shared_blocks()
+    reaped = []
+    for name in names:
+        if not str(name).startswith(BLOCK_PREFIX):
+            raise ValidationError(
+                f"refusing to reap non-{BLOCK_PREFIX}* block {name!r}"
+            )
+        if _unlink_block(str(name)):
+            reaped.append(str(name))
+    return reaped
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -93,7 +247,7 @@ class SharedArrayView:
     :class:`SharedWTPStore`.
     """
 
-    __slots__ = ("name", "shape", "dtype", "_shm", "_array")
+    __slots__ = ("name", "shape", "dtype", "_shm", "_array", "_lock")
 
     def __init__(self, name: str, shape: Sequence[int], dtype) -> None:
         self.name = name
@@ -101,6 +255,7 @@ class SharedArrayView:
         self.dtype = np.dtype(dtype)
         self._shm: shared_memory.SharedMemory | None = None
         self._array: np.ndarray | None = None
+        self._lock = threading.Lock()
 
     def __getstate__(self) -> dict:
         return {"name": self.name, "shape": self.shape, "dtype": self.dtype.str}
@@ -109,18 +264,34 @@ class SharedArrayView:
         self.__init__(state["name"], state["shape"], state["dtype"])
 
     def open(self) -> np.ndarray:
-        """The shared array (attached on first call, cached afterwards)."""
-        if self._array is None:
-            self._shm = _attach(self.name)
-            self._array = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
-        return self._array
+        """The shared array (attached on first call, cached afterwards).
+
+        Thread-safe: when a degraded scan hands a shared fill to the
+        *thread* executor, concurrent first calls must not race to a
+        double attach (one of which would leak its mapping).
+        """
+        with self._lock:
+            if self._array is None:
+                try:
+                    self._shm = _attach(self.name)
+                except FileNotFoundError:
+                    raise
+                except OSError as error:
+                    raise SharedMemoryError(
+                        f"cannot attach shared block {self.name!r}: {error}"
+                    ) from error
+                self._array = np.ndarray(
+                    self.shape, dtype=self.dtype, buffer=self._shm.buf
+                )
+            return self._array
 
     def close(self) -> None:
         """Detach from the block (no-op when never opened; never unlinks)."""
-        self._array = None
-        if self._shm is not None:
-            self._shm.close()
-            self._shm = None
+        with self._lock:
+            self._array = None
+            if self._shm is not None:
+                self._shm.close()
+                self._shm = None
 
     def __repr__(self) -> str:
         return (
@@ -155,7 +326,30 @@ class SharedWTPStore:
             raise ValidationError(f"shared block {key!r} already staged")
         dtype = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        if faults.fire("shm_alloc") is not None:
+            raise SharedMemoryError(
+                f"injected shared-memory allocation failure for block {key!r} "
+                "(as if /dev/shm were full: ENOSPC)"
+            )
+        shm = None
+        for _ in range(3):  # explicit names: tolerate a (cosmic) collision
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, nbytes), name=_block_name()
+                )
+                break
+            except FileExistsError:
+                continue
+            except OSError as error:
+                raise SharedMemoryError(
+                    f"cannot allocate {max(1, nbytes)}-byte shared block "
+                    f"{key!r}: {error}"
+                ) from error
+        if shm is None:
+            raise SharedMemoryError(
+                f"cannot allocate shared block {key!r}: name collisions"
+            )
+        _install_reaper()
         with _ACTIVE_LOCK:
             _ACTIVE_BLOCKS.add(shm.name)
         self._blocks[key] = (shm, SharedArrayView(shm.name, shape, dtype))
@@ -221,6 +415,12 @@ class SharedWTPStore:
                     _ACTIVE_BLOCKS.discard(shm.name)
         self._blocks.clear()
         if first_error is not None:
+            if isinstance(first_error, OSError) and not isinstance(
+                first_error, SharedMemoryError
+            ):
+                raise SharedMemoryError(
+                    f"shared block cleanup failed: {first_error}"
+                ) from first_error
             raise first_error
 
     def __enter__(self) -> "SharedWTPStore":

@@ -145,7 +145,12 @@ class WTPMatrix:
     def _build_dense(self, values) -> np.ndarray:
         if _is_sparse(values):
             values = values.toarray()
-        array = np.asarray(values, dtype=self._dtype)
+        try:
+            array = np.asarray(values, dtype=self._dtype)
+        except (TypeError, ValueError) as exc:
+            # Ragged rows or non-numeric entries: numpy's coercion error,
+            # re-raised as the API's validation error.
+            raise ValidationError(f"WTP matrix input is not numeric 2-D: {exc}") from exc
         if array.ndim != 2:
             raise ValidationError(f"WTP matrix must be 2-D, got shape {array.shape}")
         if array.shape[0] == 0 or array.shape[1] == 0:
@@ -161,7 +166,12 @@ class WTPMatrix:
     def _build_sparse(self, values):
         sp = _scipy_sparse()
         if not sp.issparse(values):
-            values = np.asarray(values, dtype=self._dtype)
+            try:
+                values = np.asarray(values, dtype=self._dtype)
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"WTP matrix input is not numeric 2-D: {exc}"
+                ) from exc
             if values.ndim != 2:
                 raise ValidationError(
                     f"WTP matrix must be 2-D, got shape {values.shape}"
