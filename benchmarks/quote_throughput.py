@@ -1,0 +1,252 @@
+"""CI serving-smoke gate: batched serving must be bit-identical, and fast.
+
+The :class:`repro.serving.QuoteServer` exists on one promise: a quote
+answered from warm, micro-batched state is **bit-identical** to calling
+``solution.quote()`` cold on the same rows.  This script makes CI hold it
+to that promise, and records what the warm path buys:
+
+* fits a mixed menu on the synthetic Amazon-Books workload and serves it;
+* fires a mixed stream of quote requests (1–16 consumer rows each) through
+  the in-process server path — admission, micro-batching, warm kernel —
+  and asserts every payment vector, revenue, and coverage equals the cold
+  ``solution.quote()`` answer exactly (``==``, not ``allclose``);
+* hot-reloads a second solution mid-stream and asserts the same for every
+  post-reload response against the *new* solution, fingerprint-pinned;
+* measures sustained quotes/sec plus p50/p99 per-request latency under
+  concurrent load, and the cold-vs-warm single-request speedup;
+* writes ``BENCH_serving.json`` (uploaded as a CI artifact) either way.
+
+With fewer than two cores the event loop and the kernel worker thread
+share one CPU and the latency numbers measure scheduling, not serving —
+the script prints a skip notice, records ``"skipped"``, and exits 0 (the
+skip is visible in the artifact, not silent), mirroring ``perf_smoke.py``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/quote_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import BundlingSolver, EngineConfig
+from repro.core.kernels import available_cpus
+from repro.data.synthetic import amazon_books_like
+from repro.data.wtp_mapping import wtp_from_ratings
+from repro.serving import QuoteServer
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _fit_solutions(seed: int):
+    """The served solution and a distinct replacement for the reload leg."""
+    dataset = amazon_books_like(n_users=400, n_items=60, seed=seed)
+    wtp = wtp_from_ratings(dataset, conversion=1.25)
+    primary = BundlingSolver("mixed_greedy", EngineConfig(theta=0.1)).fit(wtp)
+    replacement = BundlingSolver("components", EngineConfig(theta=0.1)).fit(wtp)
+    return primary, replacement, wtp.n_items
+
+
+def _requests(rng, n_requests: int, n_items: int):
+    """A mixed stream of request row blocks (1–16 consumers each)."""
+    sizes = rng.integers(1, 17, size=n_requests)
+    return [rng.uniform(0.0, 12.0, size=(int(size), n_items)) for size in sizes]
+
+
+def _identical(served, cold) -> bool:
+    return (
+        np.array_equal(
+            np.asarray(served.payments, dtype=np.float64),
+            np.asarray(cold.payments, dtype=np.float64),
+        )
+        and served.revenue == cold.revenue
+        and served.coverage == cold.coverage
+    )
+
+
+async def _run_serving(args, primary, replacement, n_items, report) -> bool:
+    rng = np.random.default_rng(7)
+    server = QuoteServer(
+        primary,
+        deadline=10.0,
+        queue_depth=max(args.concurrency * 4, 64),
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+    )
+    await server.start("127.0.0.1", 0)
+    try:
+        # ---------------------------------------------------- bit-identity
+        requests = _requests(rng, args.identity_requests, n_items)
+        served = await asyncio.gather(*[server.quote(rows) for rows in requests])
+        mismatches = sum(
+            not _identical(quote, primary.quote(rows))
+            for quote, rows in zip(served, requests)
+        )
+        fingerprint_ok = all(
+            quote.fingerprint == primary.fingerprint() for quote in served
+        )
+        batched_any = any(quote.batched for quote in served)
+
+        # ------------------------------------------------------ hot reload
+        with tempfile.TemporaryDirectory() as scratch:
+            path = Path(scratch) / "replacement.json"
+            replacement.save(path)
+            previous, current = await server.reload(path)
+        reload_requests = _requests(rng, args.identity_requests // 2 or 1, n_items)
+        reloaded = await asyncio.gather(
+            *[server.quote(rows) for rows in reload_requests]
+        )
+        reload_mismatches = sum(
+            not _identical(quote, replacement.quote(rows))
+            for quote, rows in zip(reloaded, reload_requests)
+        )
+        reload_fingerprint_ok = (
+            previous == primary.fingerprint()
+            and current == replacement.fingerprint()
+            and all(quote.fingerprint == current for quote in reloaded)
+        )
+
+        # ------------------------------------------------------ throughput
+        latencies: list[float] = []
+        loads = _requests(rng, args.throughput_requests, n_items)
+
+        async def client(blocks) -> None:
+            loop = asyncio.get_running_loop()
+            for rows in blocks:
+                started = loop.time()
+                await server.quote(rows)
+                latencies.append(loop.time() - started)
+
+        per_client = [
+            loads[index :: args.concurrency] for index in range(args.concurrency)
+        ]
+        started = time.perf_counter()
+        await asyncio.gather(*[client(blocks) for blocks in per_client])
+        wall = time.perf_counter() - started
+
+        # Cold baseline: per-request ``solution.quote()`` with its engine
+        # rebuild, the path the warm server replaces.
+        cold_sample = loads[: min(len(loads), 50)]
+        started = time.perf_counter()
+        for rows in cold_sample:
+            replacement.quote(rows)
+        cold_wall = time.perf_counter() - started
+        cold_per_request = cold_wall / len(cold_sample)
+        warm_per_request = wall / len(loads)
+
+        latencies.sort()
+        report["summary"] = {
+            "identity_requests": len(requests) + len(reload_requests),
+            "bit_identical": mismatches == 0 and reload_mismatches == 0,
+            "mismatches": mismatches,
+            "reload_mismatches": reload_mismatches,
+            "fingerprints_coherent": fingerprint_ok and reload_fingerprint_ok,
+            "batched_responses_seen": batched_any,
+            "throughput_requests": len(loads),
+            "concurrency": args.concurrency,
+            "quotes_per_second": round(len(loads) / wall, 1),
+            "latency_p50_ms": round(1e3 * statistics.median(latencies), 3),
+            "latency_p99_ms": round(
+                1e3 * latencies[int(0.99 * (len(latencies) - 1))], 3
+            ),
+            "cold_quote_ms": round(1e3 * cold_per_request, 3),
+            "warm_quote_ms": round(1e3 * warm_per_request, 3),
+            "warm_speedup_x": round(cold_per_request / max(warm_per_request, 1e-9), 2),
+            "gate": "every served quote bit-identical to solution.quote(), "
+            "fingerprints coherent across reload",
+        }
+        report["server"] = {
+            "batch_window_seconds": args.batch_window,
+            "max_batch": args.max_batch,
+            "health": server.health(),
+        }
+        passed = (
+            mismatches == 0
+            and reload_mismatches == 0
+            and fingerprint_ok
+            and reload_fingerprint_ok
+            and batched_any
+        )
+        report["summary"]["passed"] = passed
+        return passed
+    finally:
+        await server.stop()
+
+
+def build_report(args) -> tuple[dict, int]:
+    """The serving-smoke report plus the process exit code."""
+    cpu_count = available_cpus()
+    report = {
+        "benchmark": "serving-smoke (warm batched quoting vs cold solution.quote)",
+        "base": {"n_users": 400, "n_items": 60, "seed": 2},
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": cpu_count,
+        },
+    }
+    if cpu_count < 2 and not args.force:
+        report["skipped"] = (
+            f"only {cpu_count} CPU available - the event loop and the kernel "
+            "worker thread would measure scheduling, not serving"
+        )
+        print(f"SKIP: {report['skipped']}")
+        return report, 0
+    if cpu_count < 2:
+        report["note"] = (
+            "forced run on a single CPU: latency/throughput numbers include "
+            "event-loop/kernel-thread contention; bit-identity is unaffected"
+        )
+
+    primary, replacement, n_items = _fit_solutions(seed=2)
+    passed = asyncio.run(_run_serving(args, primary, replacement, n_items, report))
+    print(json.dumps(report["summary"], indent=1))
+    if not report["summary"]["bit_identical"]:
+        print("FAIL: served quotes differ from solution.quote()", file=sys.stderr)
+    elif not passed:
+        print("FAIL: serving gate not met (see summary)", file=sys.stderr)
+    return report, 0 if passed else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--identity-requests", type=int, default=60,
+        help="requests in the bit-identity leg (plus half after the reload)",
+    )
+    parser.add_argument(
+        "--throughput-requests", type=int, default=400,
+        help="requests in the throughput leg",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=16,
+        help="concurrent in-process clients during the throughput leg",
+    )
+    parser.add_argument("--batch-window", type=float, default=0.002)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument(
+        "--force", action="store_true",
+        help="run even on <2 cores (numbers then include scheduling "
+        "contention; the CI gate runs on real cores)",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    report, code = build_report(args)
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

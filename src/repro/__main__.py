@@ -16,6 +16,11 @@ Commands
 ``generate``
     Write a synthetic ratings dataset (calibrated to the paper's
     Amazon-Books marginals) to CSV files.
+``serve``
+    Run the persistent :class:`repro.serving.QuoteServer` over a saved
+    solution: warm precomputed state, micro-batched quoting (bit-identical
+    to ``repro quote``), per-request deadlines, bounded admission with
+    explicit load shedding, and coherent hot reload via ``POST /reload``.
 ``shm-audit``
     List ``repro-*`` shared-memory blocks orphaned by a hard-killed run
     (SIGKILL skips the in-process reaper); ``--reap`` unlinks them.
@@ -28,7 +33,10 @@ other setup errors), 3 for executor failures past the retry/degradation
 ladder (:class:`~repro.errors.ExecutorError`), 4 for scan timeouts
 (:class:`~repro.errors.ScanTimeoutError`), 5 for shared-memory failures
 (:class:`~repro.errors.SharedMemoryError`), 6 for unusable checkpoints
-(:class:`~repro.errors.CheckpointError`).
+(:class:`~repro.errors.CheckpointError`), 7 for serving failures
+(:class:`~repro.errors.ServingError`), and 130 (128 + SIGINT) when a
+checkpointed fit is interrupted by Ctrl-C *after* flushing a final
+resumable checkpoint (:class:`~repro.errors.FitInterruptedError`).
 
 Examples
 --------
@@ -42,6 +50,7 @@ Examples
     python -m repro bundle --checkpoint fit.ckpt --save-solution menu.json
     python -m repro bundle --checkpoint fit.ckpt --resume --save-solution menu.json
     python -m repro quote --solution menu.json --ratings new_users.csv --prices p.csv
+    python -m repro serve --solution menu.json --port 8707 --deadline 0.5
     python -m repro experiment table2
     python -m repro generate --users 500 --items 80 --out-ratings r.csv --out-prices p.csv
     python -m repro shm-audit --reap
@@ -61,8 +70,10 @@ from repro.data.wtp_mapping import DEFAULT_LAMBDA, wtp_from_ratings
 from repro.errors import (
     CheckpointError,
     ExecutorError,
+    FitInterruptedError,
     ReproError,
     ScanTimeoutError,
+    ServingError,
     SharedMemoryError,
 )
 
@@ -75,6 +86,8 @@ _EXIT_CODES = (
     (SharedMemoryError, 5),
     (ExecutorError, 3),
     (CheckpointError, 6),
+    (ServingError, 7),
+    (FitInterruptedError, 130),
 )
 
 
@@ -190,6 +203,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(quote, conversion_default=None)
 
+    serve = sub.add_parser(
+        "serve", help="run the persistent quote server over a saved solution"
+    )
+    serve.add_argument(
+        "--solution", required=True, metavar="PATH",
+        help="solution JSON written by `repro bundle --save-solution`",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8707,
+        help="listen port (0 = ephemeral; printed at startup)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=1.0, metavar="SECONDS",
+        help="default per-request quote deadline (HTTP 504 past it); a "
+             'request may override it with a "deadline" body field',
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="admission bound: requests beyond N waiting are shed with 429",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="micro-batch accumulation window (0 disables batching)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="largest number of requests priced in one kernel call",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-connection budget for reading one request (408 past it)",
+    )
+
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("name", choices=EXPERIMENTS)
 
@@ -272,28 +319,44 @@ def _command_bundle(args) -> int:
         return 2
     try:
         wtp = wtp_from_ratings(dataset, conversion=args.conversion)
-        if args.resume:
-            # Provenance (algorithm + engine config) comes from the
-            # checkpoint, so the run finishes exactly as the crashed one
-            # would have; the components baseline refits for the gain line.
-            result = BundlingSolver.resume(
-                args.checkpoint, wtp, metadata={"conversion": args.conversion}
-            )
-            components = BundlingSolver("components", engine_config).fit(wtp)
+        # Checkpointed runs stop gracefully on Ctrl-C: the first SIGINT
+        # flushes a final checkpoint at the next iteration boundary and
+        # exits 130; a second one aborts immediately.
+        if args.checkpoint:
+            from repro.api.checkpoint import graceful_sigint
         else:
-            solver = BundlingSolver(
-                AlgorithmSpec(args.algorithm, algo_kwargs), engine_config
-            )
-            # One shared engine: the Components baseline reuses the singleton
-            # pricings the main algorithm caches (and vice versa).
-            engine = engine_config.build(wtp)
-            result = solver.fit_engine(
-                engine,
-                metadata={"conversion": args.conversion},
-                checkpoint_path=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-            )
-            components = BundlingSolver("components", engine_config).fit_engine(engine)
+            from contextlib import nullcontext as graceful_sigint
+        with graceful_sigint():
+            if args.resume:
+                # Provenance (algorithm + engine config) comes from the
+                # checkpoint, so the run finishes exactly as the crashed one
+                # would have; the components baseline refits for the gain line.
+                result = BundlingSolver.resume(
+                    args.checkpoint, wtp, metadata={"conversion": args.conversion}
+                )
+                components = BundlingSolver("components", engine_config).fit(wtp)
+            else:
+                solver = BundlingSolver(
+                    AlgorithmSpec(args.algorithm, algo_kwargs), engine_config
+                )
+                # One shared engine: the Components baseline reuses the singleton
+                # pricings the main algorithm caches (and vice versa).
+                engine = engine_config.build(wtp)
+                result = solver.fit_engine(
+                    engine,
+                    metadata={"conversion": args.conversion},
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                )
+                components = BundlingSolver("components", engine_config).fit_engine(engine)
+    except FitInterruptedError as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print(
+            f"resume with: python -m repro bundle --checkpoint {args.checkpoint} "
+            "--resume",
+            file=sys.stderr,
+        )
+        return _exit_code(exc)
     except ReproError as exc:
         # Bad option values (e.g. --k -1) surface at construction/fit time;
         # runtime failures keep their family's exit code (see module doc).
@@ -366,6 +429,47 @@ def _command_quote(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    import asyncio
+
+    from repro.serving import QuoteServer
+
+    try:
+        solution = BundlingSolution.load(args.solution)
+        server = QuoteServer(
+            solution,
+            deadline=args.deadline,
+            queue_depth=args.queue_depth,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            read_timeout=args.read_timeout,
+        )
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot serve {args.solution}: {exc}", file=sys.stderr)
+        return _exit_code(exc) if isinstance(exc, ReproError) else 2
+
+    def banner(host, port):
+        print(f"serving {solution.algorithm}/{solution.strategy} "
+              f"({len(solution.configuration)} offers over {solution.n_items} "
+              f"items) on http://{host}:{port}")
+        print(f"solution fingerprint: {server.fingerprint}")
+        print("endpoints: POST /quote, POST /reload, GET /healthz, GET /readyz")
+
+    try:
+        asyncio.run(server.serve_forever(args.host, args.port, banner=banner))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        # Bind failures (port in use, privileged port) land here.
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 7
+    return 0
+
+
 def _command_experiment(args) -> int:
     from repro import experiments
 
@@ -413,6 +517,8 @@ def main(argv=None) -> int:
         return _command_bundle(args)
     if args.command == "quote":
         return _command_quote(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "shm-audit":

@@ -141,13 +141,24 @@ class BundlingAlgorithm(ABC):
         """Persist an iteration boundary when checkpointing is armed.
 
         Honours the ``checkpoint_every`` cadence; a no-op without a
-        ``checkpoint_path``, so un-checkpointed fits pay nothing.
+        ``checkpoint_path``, so un-checkpointed fits pay nothing.  Under
+        :func:`~repro.api.checkpoint.graceful_sigint`, a pending interrupt
+        overrides the cadence — the boundary is flushed unconditionally and
+        :class:`~repro.errors.FitInterruptedError` stops the fit with a
+        resumable artifact on disk.
         """
-        if self.checkpoint_path is None or iteration % self.checkpoint_every:
+        if self.checkpoint_path is None:
             return
-        from repro.api.checkpoint import write_fit_checkpoint
+        from repro.api.checkpoint import interrupt_requested, write_fit_checkpoint
 
+        interrupted = interrupt_requested()
+        if not interrupted and iteration % self.checkpoint_every:
+            return
         write_fit_checkpoint(self, engine, iteration, trace, state, arrays)
+        if interrupted:
+            from repro.errors import FitInterruptedError
+
+            raise FitInterruptedError(iteration, self.checkpoint_path)
 
     @contextmanager
     def _engine_overrides(self, engine: RevenueEngine):

@@ -40,6 +40,8 @@ import hashlib
 import json
 import os
 import signal
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -311,3 +313,43 @@ def write_fit_checkpoint(
     threshold = faults.fire("fit_crash")
     if threshold is not None and iteration >= int(threshold):
         os.kill(os.getpid(), signal.SIGKILL)
+
+
+# --------------------------------------------------------- graceful interrupt
+#: Set by the ``graceful_sigint`` handler; observed at iteration boundaries.
+_INTERRUPT = threading.Event()
+
+
+def interrupt_requested() -> bool:
+    """True once a SIGINT has asked the running fit to stop gracefully."""
+    return _INTERRUPT.is_set()
+
+
+@contextmanager
+def graceful_sigint():
+    """Turn SIGINT into a checkpoint-flushing stop for the enclosed fit.
+
+    While active, the first Ctrl-C sets a flag instead of raising
+    :class:`KeyboardInterrupt`; the fit loop observes it at its next
+    iteration boundary (:meth:`BundlingAlgorithm._emit_checkpoint`),
+    flushes a final checkpoint regardless of the ``checkpoint_every``
+    cadence, and raises :class:`~repro.errors.FitInterruptedError` — so an
+    interrupted run always leaves a resumable artifact (CLI exit code
+    130).  A *second* SIGINT falls back to the default ``KeyboardInterrupt``
+    for users who really mean "now", even mid-iteration.
+
+    Only installable from the main thread (signal semantics); the previous
+    handler is restored and the flag cleared on exit either way.
+    """
+
+    def _handler(signum, frame):
+        if _INTERRUPT.is_set():
+            raise KeyboardInterrupt
+        _INTERRUPT.set()
+
+    previous = signal.signal(signal.SIGINT, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+        _INTERRUPT.clear()

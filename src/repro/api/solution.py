@@ -220,6 +220,19 @@ class BundlingSolution:
             buyers_per_offer=buyers,
         )
 
+    def serving_state(self):
+        """A warm :class:`~repro.serving.state.ServingState` over this menu.
+
+        Precomputes everything :meth:`quote` rebuilds per call (engine,
+        adoption model, offer supports, forest, fingerprint) so repeated
+        quoting — in particular the :class:`~repro.serving.server.QuoteServer`
+        micro-batch path — skips the per-call setup while answering
+        bit-identically to :meth:`quote`.
+        """
+        from repro.serving.state import ServingState
+
+        return ServingState(self)
+
     def evaluate(
         self, engine: RevenueEngine, n_runs: int | None = None, seed=None
     ) -> EvaluationReport:
@@ -301,6 +314,7 @@ class BundlingSolution:
             )
         known = {
             "format_version",
+            "fingerprint",
             "algorithm",
             "strategy",
             "n_items",
@@ -362,14 +376,41 @@ class BundlingSolution:
             # fields) funnel into one error type callers can rely on.
             raise ValidationError(f"malformed solution payload: {exc!r}") from exc
 
+    @staticmethod
+    def _verify_fingerprint(payload: dict, solution: "BundlingSolution") -> None:
+        """Tamper check: the persisted fingerprint must match the content.
+
+        :meth:`save` stamps the canonical-content fingerprint into the
+        file; loading recomputes it from the reconstructed solution (the
+        hex float fields make the round trip bit-exact) and rejects any
+        mismatch — a corrupted or hand-edited artifact must fail loudly
+        here, not serve silently wrong prices later.  Artifacts written
+        before fingerprints were stamped (no ``fingerprint`` key) load
+        unchanged.
+        """
+        stored = payload.get("fingerprint")
+        if stored is None:
+            return
+        recomputed = solution.fingerprint()
+        if stored != recomputed:
+            raise ValidationError(
+                "solution fingerprint mismatch: file says "
+                f"{str(stored)[:16]}..., content hashes to {recomputed[:16]}... "
+                "— the artifact was modified after it was saved"
+            )
+
     def save(self, path) -> Path:
         """Write the solution as JSON (bit-exact round trip); returns the path.
 
         The write is atomic (temp file + rename), so a failure mid-write
         never leaves a truncated file over a previously valid artifact.
         """
+        document = self.to_dict()
         try:
-            payload = json.dumps(self.to_dict(), indent=1)
+            # Stamped at save time (not in to_dict) so the fingerprint hashes
+            # the content without hashing itself; load() verifies the match.
+            document["fingerprint"] = self.fingerprint()
+            payload = json.dumps(document, indent=1)
         except ReproError:
             raise
         except (TypeError, ValueError) as exc:
@@ -389,8 +430,14 @@ class BundlingSolution:
 
     @classmethod
     def load(cls, path) -> "BundlingSolution":
-        """Inverse of :meth:`save`."""
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Inverse of :meth:`save`, with fingerprint tamper verification."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"solution file is not valid JSON: {exc}") from exc
+        solution = cls.from_dict(payload)
+        cls._verify_fingerprint(payload, solution)
+        return solution
 
     def __repr__(self) -> str:
         return (

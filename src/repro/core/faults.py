@@ -32,6 +32,25 @@ Sites consulted by the engine stack:
     The fitting process SIGKILLs itself while writing a checkpoint — the
     hard-kill half of the checkpoint/resume tests.
 
+Sites consulted by the serving stack (:mod:`repro.serving`):
+
+``quote_batch``
+    :meth:`~repro.serving.state.ServingState.quote_batch` raises
+    :class:`~repro.errors.ServingError` before pricing, as if the batched
+    kernel faulted — exercising the batched → sequential degradation rung
+    of the micro-batcher (the per-request fallback path does not consult
+    the site; it *is* the recovery).
+``reload``
+    :meth:`~repro.serving.server.QuoteServer.reload` raises
+    :class:`~repro.errors.ReloadError` after loading the replacement
+    solution but before the atomic state swap — the server must keep
+    serving from the old state with its old fingerprint.
+``slow_client``
+    The HTTP front end sleeps for the rule's numeric argument (seconds)
+    before reading a request, simulating a stalled (slow-loris) client so
+    the per-connection read timeout trips and the connection is closed
+    with 408 instead of pinning a handler forever.
+
 Trigger grammar (per rule):
 
 ``once``

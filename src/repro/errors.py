@@ -82,3 +82,67 @@ class CheckpointError(ReproError):
     resuming with a solver whose configuration does not match the one the
     checkpoint was written under.
     """
+
+
+class FitInterruptedError(ReproError):
+    """A checkpointed fit was stopped by SIGINT after flushing a checkpoint.
+
+    Raised at the iteration boundary that observes the interrupt request,
+    *after* a final checkpoint has been written regardless of the
+    ``checkpoint_every`` cadence — so the run can be restarted with
+    ``BundlingSolver.resume`` (CLI: ``--resume``) and finish bit-identical
+    to an uninterrupted fit.  The CLI maps it to exit code 130
+    (128 + SIGINT), the conventional interrupted-process code.
+    """
+
+    def __init__(self, iteration: int, checkpoint_path=None):
+        self.iteration = int(iteration)
+        self.checkpoint_path = checkpoint_path
+        location = f" to {checkpoint_path}" if checkpoint_path else ""
+        super().__init__(
+            f"fit interrupted; checkpoint flushed{location} at iteration "
+            f"{self.iteration} (resume to finish)"
+        )
+
+
+class ServingError(ReproError):
+    """A quote-serving request could not be answered.
+
+    Base class of the :mod:`repro.serving` failure modes; the CLI maps the
+    family to exit code 7.  Serving errors are *per-request* whenever
+    possible — the server sheds or fails one request rather than wedging
+    the process — and every one of them maps to a structured HTTP status
+    so clients can react without parsing messages.
+    """
+
+
+class QuoteDeadlineError(ServingError):
+    """A quote request's wall-clock deadline expired before its answer.
+
+    Raised (and returned as HTTP 504) whether the request was still queued,
+    batched but unpriced, or mid-kernel — the response is bounded by the
+    deadline no matter where the time went.  A request that *did* get
+    priced within its deadline is bit-identical to ``solution.quote()``;
+    one that did not gets this error, never a partial or stale price.
+    """
+
+
+class ServerOverloadedError(ServingError):
+    """The admission queue is full; the request was shed, not queued.
+
+    Returned as HTTP 429.  Explicit load shedding bounds queueing latency:
+    beyond ``queue_depth`` waiting requests the server refuses new work
+    immediately instead of growing an unbounded backlog in which every
+    request eventually misses its deadline.
+    """
+
+
+class ReloadError(ServingError):
+    """A hot solution reload failed; the previous state remains serving.
+
+    Reload is all-or-nothing: the replacement solution is loaded, verified
+    (fingerprint check included), and precomputed *before* the atomic
+    state swap, so any failure — unreadable file, corrupted payload, an
+    injected ``reload`` fault — leaves the server answering from the old
+    state with its old fingerprint.
+    """

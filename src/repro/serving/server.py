@@ -1,0 +1,640 @@
+"""The hardened quote server: warm state behind an asyncio HTTP front end.
+
+:class:`QuoteServer` is the serving subsystem's composition root.  It owns
+
+* one :class:`~repro.serving.state.ServingState` (the warm, precomputed
+  menu — swapped atomically by :meth:`reload`),
+* one :class:`~repro.serving.admission.AdmissionQueue` (bounded; overload
+  sheds with HTTP 429 instead of queueing unboundedly),
+* one :class:`~repro.serving.batching.MicroBatcher` (micro-batches admitted
+  requests into single warm kernel calls, bit-identical to per-request
+  ``solution.quote()``), and
+* a hand-rolled HTTP/1.1 front end on stdlib ``asyncio`` streams — no
+  ``http.server``, no third-party framework — with per-connection read
+  timeouts so a stalled client (see the ``slow_client`` fault site) gets a
+  408 and a closed socket instead of a pinned handler.
+
+Endpoints::
+
+    POST /quote    {"rows": [[...], ...], "deadline": seconds?}
+                   -> 200 payments/revenue/coverage (+ hex twins for
+                      bit-exact comparison), fingerprint, batched flag
+                   -> 400 ValidationError   (bad rows, wrong item count)
+                   -> 429 ServerOverloadedError (admission queue full)
+                   -> 504 QuoteDeadlineError    (deadline expired)
+    POST /reload   {"path": "solution.json"}
+                   -> 200 old/new fingerprints; failure keeps old state
+    GET  /healthz  -> 200 live counters (queue depth, sheds, degraded
+                      batches, reloads) — real state, not heuristics
+    GET  /readyz   -> 200 once a solution is loaded and the batcher runs,
+                      503 otherwise
+
+Every response carries ``X-Solution-Fingerprint`` so clients observe
+version skew across hot reloads without parsing bodies.
+
+Deadline guarantee: the handler awaits the ticket's future under
+``asyncio.wait_for`` with its *own* clock — even a kernel thread that
+hangs cannot stall a response past its deadline; the request is failed
+with 504 and its ticket cancelled so the batcher skips it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.core import faults
+from repro.core.retry import RetryPolicy
+from repro.errors import (
+    QuoteDeadlineError,
+    ReloadError,
+    ReproError,
+    ServerOverloadedError,
+    ServingError,
+    ValidationError,
+)
+from repro.serving.admission import AdmissionQueue, QuoteTicket
+from repro.serving.batching import MicroBatcher
+from repro.serving.state import ServedQuote, ServingState
+
+#: Largest request body accepted (bytes) before answering 413.
+DEFAULT_MAX_BODY = 16 * 1024 * 1024
+
+#: Stream buffer limit — must fit a full header block comfortably.
+_HEADER_LIMIT = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _status_of(error: BaseException) -> int:
+    """The HTTP status a typed serving-path error maps to."""
+    if isinstance(error, QuoteDeadlineError):
+        return 504
+    if isinstance(error, ServerOverloadedError):
+        return 429
+    if isinstance(error, ValidationError):
+        return 400
+    return 500
+
+
+class QuoteServer:
+    """A persistent, robustness-first quote service over one solution.
+
+    Parameters
+    ----------
+    solution:
+        A :class:`~repro.api.BundlingSolution`, a prebuilt
+        :class:`ServingState`, or ``None`` (start empty; ``/readyz`` is 503
+        until :meth:`reload` loads one).
+    deadline:
+        Default per-request wall-clock budget in seconds; a request may
+        override it downward or upward via the ``deadline`` body field.
+    queue_depth:
+        Admission bound — requests beyond it are shed with 429.
+    batch_window / max_batch:
+        Micro-batch accumulation window (seconds) and size cap.
+    retry:
+        :class:`~repro.core.retry.RetryPolicy` for the batch kernel; the
+        default retries twice and then degrades batched → sequential.
+    read_timeout:
+        Per-connection budget (seconds) for reading one full request;
+        exceeding it answers 408 and closes the connection.
+    """
+
+    def __init__(
+        self,
+        solution=None,
+        *,
+        deadline: float = 1.0,
+        queue_depth: int = 256,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        retry: RetryPolicy | dict | None = None,
+        read_timeout: float = 5.0,
+        max_body_bytes: int = DEFAULT_MAX_BODY,
+    ) -> None:
+        if not (float(deadline) > 0):
+            raise ValidationError(f"deadline must be positive, got {deadline!r}")
+        if not (float(read_timeout) > 0):
+            raise ValidationError(
+                f"read_timeout must be positive, got {read_timeout!r}"
+            )
+        self.deadline = float(deadline)
+        self.read_timeout = float(read_timeout)
+        self.max_body_bytes = int(max_body_bytes)
+        self._state: ServingState | None = None
+        if solution is not None:
+            self._state = self._coerce_state(solution)
+        self.admission = AdmissionQueue(queue_depth)
+        if retry is None:
+            retry = RetryPolicy(max_attempts=3, backoff=0.01, degrade=True)
+        self.batcher = MicroBatcher(
+            self.admission,
+            lambda: self._state,
+            batch_window=batch_window,
+            max_batch=max_batch,
+            retry=retry,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._reload_lock: asyncio.Lock | None = None
+        self._started_at = time.monotonic()
+        self.requests = 0
+        self.deadline_timeouts = 0
+        self.read_timeouts = 0
+        self.reloads = 0
+        self.reload_failures = 0
+        self.last_reload_error: str | None = None
+
+    # ----------------------------------------------------------------- state
+    @staticmethod
+    def _coerce_state(source) -> ServingState:
+        if isinstance(source, ServingState):
+            return source
+        if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+            from repro.api.solution import BundlingSolution
+
+            return ServingState(BundlingSolution.load(source))
+        return ServingState(source)
+
+    @property
+    def state(self) -> ServingState | None:
+        """The currently serving state (None before the first load)."""
+        return self._state
+
+    @property
+    def fingerprint(self) -> str | None:
+        state = self._state
+        return None if state is None else state.fingerprint
+
+    @property
+    def ready(self) -> bool:
+        return self._state is not None and self.batcher.running
+
+    # --------------------------------------------------------------- control
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start the batcher and the HTTP listener; returns ``(host, port)``."""
+        self._reload_lock = asyncio.Lock()
+        self._started_at = time.monotonic()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=_HEADER_LIMIT
+        )
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the batcher, shut the listener down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+
+    async def serve_forever(self, host: str, port: int, *, banner=None) -> None:
+        """Run until cancelled or SIGINT/SIGTERM (the CLI entry point)."""
+        import signal
+
+        bound_host, bound_port = await self.start(host, port)
+        if banner is not None:
+            banner(bound_host, bound_port)
+        stop = asyncio.get_running_loop().create_future()
+
+        def _request_stop(*_args) -> None:
+            if not stop.done():
+                stop.set_result(None)
+
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, _request_stop)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await stop
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.stop()
+
+    # ----------------------------------------------------------------- quote
+    async def quote(self, rows, deadline: float | None = None) -> ServedQuote:
+        """Admit, batch, and price one request (the in-process client path).
+
+        Raises the same typed errors the HTTP front end maps to statuses:
+        :class:`ValidationError` for bad rows or a non-positive deadline,
+        :class:`ServerOverloadedError` when the admission queue sheds, and
+        :class:`QuoteDeadlineError` when the wall-clock budget expires —
+        regardless of whether the request was queued, batched, or
+        mid-kernel when time ran out.
+        """
+        state = self._state
+        if state is None:
+            raise ServingError("no solution loaded; POST /reload one first")
+        if deadline is None:
+            deadline = self.deadline
+        deadline = float(deadline)
+        if not (deadline > 0):
+            raise ValidationError(f"deadline must be positive, got {deadline!r}")
+        prepared = state.prepare_rows(rows)
+        loop = asyncio.get_running_loop()
+        ticket = QuoteTicket(
+            prepared=prepared,
+            deadline_at=loop.time() + deadline,
+            future=loop.create_future(),
+        )
+        self.admission.submit(ticket)
+        self.requests += 1
+        try:
+            # shield(): a handler-side timeout must not cancel a future the
+            # batcher may be about to resolve for someone else's batch —
+            # the explicit cancel below marks it dead once we stop caring.
+            return await asyncio.wait_for(asyncio.shield(ticket.future), deadline)
+        except asyncio.TimeoutError:
+            ticket.future.cancel()
+            self.deadline_timeouts += 1
+            raise QuoteDeadlineError(
+                f"quote not answered within its {deadline:.3f}s deadline"
+            ) from None
+
+    # ---------------------------------------------------------------- reload
+    async def reload(self, source) -> tuple[str | None, str]:
+        """Atomically swap in a replacement solution; all-or-nothing.
+
+        *source* is a path (loaded via ``BundlingSolution.load``, which
+        verifies the persisted fingerprint), a ``BundlingSolution``, or a
+        prebuilt :class:`ServingState`.  The replacement is fully loaded
+        and precomputed **before** the single-reference swap, so a failure
+        anywhere — unreadable file, corrupted payload, fingerprint
+        mismatch, an injected ``reload`` fault — leaves the old state
+        serving, untouched.  Returns ``(old_fingerprint, new_fingerprint)``.
+        """
+        lock = self._reload_lock
+        if lock is None:
+            self._reload_lock = lock = asyncio.Lock()
+        async with lock:
+            loop = asyncio.get_running_loop()
+            try:
+                new_state = await loop.run_in_executor(
+                    None, self._coerce_state, source
+                )
+                if faults.fire("reload") is not None:
+                    raise ReloadError(
+                        "injected reload fault; previous state retained"
+                    )
+            except ReloadError as exc:
+                self.reload_failures += 1
+                self.last_reload_error = str(exc)
+                raise
+            except (ReproError, OSError) as exc:
+                self.reload_failures += 1
+                self.last_reload_error = str(exc)
+                raise ReloadError(
+                    f"reload failed; previous state retained: {exc}"
+                ) from exc
+            previous = self._state
+            # Single-reference swap: in-flight batches keep the state they
+            # captured; the batcher re-prepares stale tickets on its next
+            # batch against whatever this reference points at then.
+            self._state = new_state
+            self.reloads += 1
+            self.last_reload_error = None
+            return (
+                None if previous is None else previous.fingerprint,
+                new_state.fingerprint,
+            )
+
+    # ---------------------------------------------------------------- health
+    def health(self) -> dict:
+        """The ``/healthz`` payload — live counters, not heuristics."""
+        state = self._state
+        if state is None:
+            status = "unloaded"
+        elif self.batcher.last_batch_degraded:
+            status = "degraded"
+        else:
+            status = "serving"
+        payload = {
+            "status": status,
+            "ready": self.ready,
+            "fingerprint": None if state is None else state.fingerprint,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "queue": {
+                "waiting": self.admission.waiting,
+                "depth": self.admission.depth,
+                "saturated": self.admission.saturated,
+            },
+            "counters": {
+                "requests": self.requests,
+                "admitted": self.admission.admitted,
+                "shed": self.admission.shed,
+                "batches": self.batcher.batches,
+                "quotes": self.batcher.quotes,
+                "expired": self.batcher.expired,
+                "failed": self.batcher.failed,
+                "degraded_batches": self.batcher.degraded_batches,
+                "deadline_timeouts": self.deadline_timeouts,
+                "read_timeouts": self.read_timeouts,
+                "reloads": self.reloads,
+                "reload_failures": self.reload_failures,
+            },
+        }
+        if state is not None:
+            payload["solution"] = {
+                "algorithm": state.algorithm,
+                "strategy": state.strategy,
+                "n_items": state.n_items,
+                "n_offers": len(state.offers),
+            }
+        if self.last_reload_error is not None:
+            payload["last_reload_error"] = self.last_reload_error
+        return payload
+
+    # ------------------------------------------------------------- HTTP edge
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # Stalled (slow-loris) client: bound the damage to one
+                    # read budget, answer 408, drop the connection.
+                    self.read_timeouts += 1
+                    await self._respond(
+                        writer,
+                        408,
+                        {
+                            "error": "RequestReadTimeout",
+                            "message": (
+                                "request not received within "
+                                f"{self.read_timeout:.3f}s; closing connection"
+                            ),
+                        },
+                        keep_alive=False,
+                    )
+                    return
+                except _BodyTooLarge as exc:
+                    await self._respond(
+                        writer,
+                        413,
+                        {"error": "PayloadTooLarge", "message": str(exc)},
+                        keep_alive=False,
+                    )
+                    return
+                except _MalformedRequest as exc:
+                    await self._respond(
+                        writer,
+                        400,
+                        {"error": "MalformedRequest", "message": str(exc)},
+                        keep_alive=False,
+                    )
+                    return
+                if request is None:  # clean EOF between requests
+                    return
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    return
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this handler mid-request.  Swallow
+            # the cancellation so the task finishes cleanly (the asyncio
+            # streams machinery logs cancelled handler tasks as errors) —
+            # the connection is closed below either way.
+            pass
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # pragma: no cover - peer vanished mid-exchange
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One parsed request: ``(method, path, headers, body)`` or None at EOF."""
+        delay = faults.fire("slow_client")
+        if delay is not None:
+            # Stand-in for a client dribbling bytes: stall the read so the
+            # caller's wait_for trips its read timeout.
+            await asyncio.sleep(float(delay))
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _MalformedRequest("connection closed mid-request") from None
+        except asyncio.LimitOverrunError:
+            raise _MalformedRequest("header block too large") from None
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, target, _version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            raise _MalformedRequest("unparseable request line") from None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length_header = headers.get("content-length", "0")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _MalformedRequest(
+                f"bad Content-Length: {length_header!r}"
+            ) from None
+        if length < 0:
+            raise _MalformedRequest(f"bad Content-Length: {length_header!r}")
+        if length > self.max_body_bytes:
+            raise _BodyTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise _MalformedRequest("connection closed mid-body") from None
+        return method.upper(), target.split("?", 1)[0], headers, body
+
+    async def _dispatch(self, request, writer: asyncio.StreamWriter) -> bool:
+        method, path, headers, body = request
+        keep_alive = headers.get("connection", "").lower() != "close"
+        if path == "/healthz" and method == "GET":
+            await self._respond(writer, 200, self.health(), keep_alive=keep_alive)
+            return keep_alive
+        if path == "/readyz" and method == "GET":
+            ready = self.ready
+            await self._respond(
+                writer,
+                200 if ready else 503,
+                {"ready": ready, "fingerprint": self.fingerprint},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        if path == "/quote":
+            if method != "POST":
+                await self._respond(
+                    writer,
+                    405,
+                    {"error": "MethodNotAllowed", "message": "POST /quote"},
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            await self._handle_quote(body, writer, keep_alive)
+            return keep_alive
+        if path == "/reload":
+            if method != "POST":
+                await self._respond(
+                    writer,
+                    405,
+                    {"error": "MethodNotAllowed", "message": "POST /reload"},
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            await self._handle_reload(body, writer, keep_alive)
+            return keep_alive
+        await self._respond(
+            writer,
+            404,
+            {"error": "NotFound", "message": f"no route for {method} {path}"},
+            keep_alive=keep_alive,
+        )
+        return keep_alive
+
+    async def _handle_quote(
+        self, body: bytes, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValidationError("quote body must be a JSON object")
+            if "rows" not in payload:
+                raise ValidationError('quote body needs a "rows" field')
+            quote = await self.quote(payload["rows"], payload.get("deadline"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await self._respond(
+                writer,
+                400,
+                {"error": "ValidationError", "message": f"bad JSON body: {exc}"},
+                keep_alive=keep_alive,
+            )
+            return
+        except ReproError as exc:
+            await self._respond(
+                writer,
+                _status_of(exc),
+                {"error": type(exc).__name__, "message": str(exc)},
+                keep_alive=keep_alive,
+            )
+            return
+        payments = np.asarray(quote.payments, dtype=np.float64)
+        await self._respond(
+            writer,
+            200,
+            {
+                "n_users": quote.n_users,
+                "payments": payments.tolist(),
+                "payments_hex": [float(p).hex() for p in payments],
+                "revenue": quote.revenue,
+                "revenue_hex": float(quote.revenue).hex(),
+                "coverage": quote.coverage,
+                "fingerprint": quote.fingerprint,
+                "batched": quote.batched,
+            },
+            keep_alive=keep_alive,
+            fingerprint=quote.fingerprint,
+        )
+
+    async def _handle_reload(
+        self, body: bytes, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict) or "path" not in payload:
+                raise ValidationError('reload body needs a "path" field')
+            previous, current = await self.reload(payload["path"])
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await self._respond(
+                writer,
+                400,
+                {"error": "ValidationError", "message": f"bad JSON body: {exc}"},
+                keep_alive=keep_alive,
+            )
+            return
+        except ReproError as exc:
+            await self._respond(
+                writer,
+                _status_of(exc),
+                {"error": type(exc).__name__, "message": str(exc)},
+                keep_alive=keep_alive,
+            )
+            return
+        await self._respond(
+            writer,
+            200,
+            {"previous_fingerprint": previous, "fingerprint": current},
+            keep_alive=keep_alive,
+            fingerprint=current,
+        )
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool,
+        fingerprint: str | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        stamp = fingerprint if fingerprint is not None else self.fingerprint
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if stamp is not None:
+            head.append(f"X-Solution-Fingerprint: {stamp}")
+        if status == 429:
+            head.append("Retry-After: 1")
+        try:
+            writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the peer is gone; nothing left to tell it
+
+    def __repr__(self) -> str:
+        fp = self.fingerprint
+        return (
+            f"QuoteServer(fingerprint={fp[:12] + '...' if fp else None}, "
+            f"deadline={self.deadline}, queue_depth={self.admission.depth})"
+        )
+
+
+class _MalformedRequest(Exception):
+    """Internal: the request could not be parsed (HTTP 400, close)."""
+
+
+class _BodyTooLarge(Exception):
+    """Internal: declared Content-Length over the limit (HTTP 413, close)."""

@@ -211,6 +211,9 @@ class TestSolutionRoundTripCLI:
         ratings, prices, solution = saved
         payload = json.loads(solution.read_text())
         payload["metadata"]["conversion"] = "high"
+        # Dropping the fingerprint makes this a legacy (pre-fingerprint)
+        # artifact; with it kept, load would reject the edit as tampering.
+        payload.pop("fingerprint", None)
         solution.write_text(json.dumps(payload))
         assert main(["quote", "--solution", str(solution),
                      "--ratings", str(ratings), "--prices", str(prices)]) == 2
@@ -222,6 +225,9 @@ class TestSolutionRoundTripCLI:
         ratings, prices, solution = saved
         payload = json.loads(solution.read_text())
         del payload["metadata"]["conversion"]
+        # Dropping the fingerprint makes this a legacy (pre-fingerprint)
+        # artifact; with it kept, load would reject the edit as tampering.
+        payload.pop("fingerprint", None)
         solution.write_text(json.dumps(payload))
         assert main(["quote", "--solution", str(solution),
                      "--ratings", str(ratings), "--prices", str(prices)]) == 0

@@ -1,0 +1,658 @@
+"""Serving subsystem: bit-identity, deadlines, shedding, degradation, reload.
+
+The contract under test, end to end: every quote the
+:class:`~repro.serving.QuoteServer` successfully answers — micro-batched,
+degraded to sequential, or served right after a hot reload — is
+**bit-identical** to calling ``solution.quote()`` cold on that request's
+rows, and every failure mode is a *typed, bounded* error (504 deadline,
+429 shed, 408 stalled read), never a wrong price or a hung request.
+
+No pytest-asyncio: each test drives its own event loop via ``asyncio.run``
+so the suite stays stdlib-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import BundlingSolver, EngineConfig
+from repro.api.solution import BundlingSolution
+from repro.core import faults
+from repro.core.retry import DegradedExecutionWarning, RetryPolicy
+from repro.errors import (
+    QuoteDeadlineError,
+    ReloadError,
+    ServerOverloadedError,
+    ServingError,
+    ValidationError,
+)
+from repro.serving import QuoteServer, ServingState
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(scope="module")
+def mixed_solution(small_wtp):
+    return BundlingSolver("mixed_greedy", EngineConfig(theta=0.15)).fit(small_wtp)
+
+
+@pytest.fixture(scope="module")
+def pure_solution(small_wtp):
+    return BundlingSolver("components", EngineConfig(theta=0.1)).fit(small_wtp)
+
+
+@pytest.fixture(scope="module")
+def requests_by_size(mixed_solution):
+    """Deterministic request row blocks of assorted sizes."""
+    rng = np.random.default_rng(3)
+    return [
+        rng.uniform(0.0, 12.0, size=(size, mixed_solution.n_items))
+        for size in (1, 2, 5, 3, 13, 1, 8)
+    ]
+
+
+@pytest.fixture()
+def clean_faults(monkeypatch):
+    """Arm/disarm fault injection per test without cross-test leakage."""
+    yield monkeypatch
+    monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+    faults.reset()
+
+
+def _assert_identical(served, cold):
+    __tracebackhide__ = True
+    assert np.array_equal(
+        np.asarray(served.payments, dtype=np.float64),
+        np.asarray(cold.payments, dtype=np.float64),
+    )
+    assert served.revenue == cold.revenue
+    assert served.coverage == cold.coverage
+
+
+# ============================================================= warm kernel
+class TestServingStateBitIdentity:
+    """The warm batch kernel against cold ``solution.quote()``, exactly."""
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 4, 7])
+    def test_batched_equals_cold_mixed(
+        self, mixed_solution, requests_by_size, batch_size
+    ):
+        state = mixed_solution.serving_state()
+        blocks = [state.prepare_rows(rows) for rows in requests_by_size[:batch_size]]
+        for quote, rows in zip(state.quote_batch(blocks), requests_by_size):
+            _assert_identical(quote, mixed_solution.quote(rows))
+            assert quote.batched is True
+            assert quote.fingerprint == mixed_solution.fingerprint()
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7])
+    def test_batched_equals_cold_pure(
+        self, pure_solution, requests_by_size, batch_size
+    ):
+        state = pure_solution.serving_state()
+        blocks = [state.prepare_rows(rows) for rows in requests_by_size[:batch_size]]
+        for quote, rows in zip(state.quote_batch(blocks), requests_by_size):
+            _assert_identical(quote, pure_solution.quote(rows))
+
+    def test_sequential_equals_cold(self, mixed_solution, requests_by_size):
+        state = mixed_solution.serving_state()
+        for rows in requests_by_size:
+            quote = state.quote_single(state.prepare_rows(rows))
+            _assert_identical(quote, mixed_solution.quote(rows))
+            assert quote.batched is False
+
+    @pytest.mark.parametrize(
+        "backend", [{"precision": "float32"}, {"storage": "sparse"}]
+    )
+    def test_batched_equals_cold_backends(self, small_wtp, requests_by_size, backend):
+        solution = BundlingSolver("components", EngineConfig(theta=0.1, **backend)).fit(
+            small_wtp
+        )
+        state = ServingState(solution)
+        blocks = [state.prepare_rows(rows) for rows in requests_by_size]
+        for quote, rows in zip(state.quote_batch(blocks), requests_by_size):
+            _assert_identical(quote, solution.quote(rows))
+
+    def test_prepare_rejects_bad_rows(self, mixed_solution):
+        state = mixed_solution.serving_state()
+        n = mixed_solution.n_items
+        good = np.ones((2, n))
+        for bad in (np.nan, np.inf, -np.inf):
+            rows = good.copy()
+            rows[1, 0] = bad
+            with pytest.raises(ValidationError, match="non-finite"):
+                state.prepare_rows(rows)
+        with pytest.raises(ValidationError, match="negative"):
+            state.prepare_rows(good * -1.0)
+        with pytest.raises(ValidationError, match="items"):
+            state.prepare_rows(np.ones((2, n + 1)))
+        with pytest.raises(ValidationError):
+            state.prepare_rows([[1.0, "x"]])
+
+    def test_quote_batch_consults_fault_site(
+        self, mixed_solution, requests_by_size, clean_faults
+    ):
+        state = mixed_solution.serving_state()
+        blocks = [state.prepare_rows(requests_by_size[0])]
+        clean_faults.setenv(faults.FAULT_ENV, "quote_batch:always")
+        with pytest.raises(ServingError, match="injected"):
+            state.quote_batch(blocks)
+        # The sequential path is the recovery: it must not consult the site.
+        quote = state.quote_single(blocks[0])
+        _assert_identical(quote, mixed_solution.quote(requests_by_size[0]))
+
+
+# ============================================================ server paths
+class TestQuoteServer:
+    def test_concurrent_quotes_bit_identical(self, mixed_solution, requests_by_size):
+        async def main():
+            server = QuoteServer(mixed_solution, batch_window=0.01, max_batch=16)
+            await server.start("127.0.0.1", 0)
+            try:
+                return await asyncio.gather(
+                    *[server.quote(rows) for rows in requests_by_size]
+                )
+            finally:
+                await server.stop()
+
+        quotes = asyncio.run(main())
+        for quote, rows in zip(quotes, requests_by_size):
+            _assert_identical(quote, mixed_solution.quote(rows))
+            assert quote.fingerprint == mixed_solution.fingerprint()
+
+    def test_deadline_expires_when_kernel_never_answers(self, mixed_solution):
+        async def main():
+            # The batcher is never started: the ticket sits admitted but
+            # unpriced, and the handler-side wait must still bound the
+            # response by the request deadline.
+            server = QuoteServer(mixed_solution, deadline=0.05)
+            with pytest.raises(QuoteDeadlineError, match="deadline"):
+                await server.quote(np.ones((1, mixed_solution.n_items)))
+            assert server.deadline_timeouts == 1
+            return server
+
+        asyncio.run(main())
+
+    def test_deadline_expires_while_queued(self, mixed_solution):
+        async def main():
+            server = QuoteServer(mixed_solution, batch_window=0.2, max_batch=64)
+            await server.start("127.0.0.1", 0)
+            try:
+                rows = np.ones((1, mixed_solution.n_items))
+                # Wake the batcher with a long-deadline ticket, then submit
+                # one whose deadline lapses inside the accumulation window.
+                long = asyncio.create_task(server.quote(rows, deadline=5.0))
+                await asyncio.sleep(0.01)
+                with pytest.raises(QuoteDeadlineError):
+                    await server.quote(rows, deadline=0.02)
+                _assert_identical(await long, mixed_solution.quote(rows))
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_overload_sheds_with_typed_error(self, mixed_solution):
+        async def main():
+            server = QuoteServer(mixed_solution, queue_depth=2, deadline=5.0)
+            rows = np.ones((1, mixed_solution.n_items))
+            # No batcher running: the first two requests fill the queue...
+            first = asyncio.create_task(server.quote(rows))
+            second = asyncio.create_task(server.quote(rows))
+            await asyncio.sleep(0.01)
+            # ...and the third is shed immediately, not queued.
+            with pytest.raises(ServerOverloadedError, match="shed"):
+                await server.quote(rows)
+            assert server.admission.shed == 1
+            assert server.health()["queue"]["saturated"] is True
+            for task in (first, second):
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+
+        asyncio.run(main())
+
+    def test_faulted_batch_kernel_degrades_sequentially(
+        self, mixed_solution, requests_by_size, clean_faults
+    ):
+        clean_faults.setenv(faults.FAULT_ENV, "quote_batch:always")
+
+        async def main():
+            server = QuoteServer(
+                mixed_solution,
+                batch_window=0.01,
+                retry=RetryPolicy(max_attempts=2, backoff=0.001, degrade=True),
+            )
+            await server.start("127.0.0.1", 0)
+            try:
+                return await asyncio.gather(
+                    *[server.quote(rows) for rows in requests_by_size]
+                ), server.batcher.degraded_batches, server.health()["status"]
+            finally:
+                await server.stop()
+
+        with pytest.warns(DegradedExecutionWarning) as caught:
+            quotes, degraded_batches, status = asyncio.run(main())
+        # Same prices, flagged as sequentially served, health says degraded.
+        for quote, rows in zip(quotes, requests_by_size):
+            _assert_identical(quote, mixed_solution.quote(rows))
+            assert quote.batched is False
+        assert degraded_batches >= 1
+        assert status == "degraded"
+        warning = caught[0].message
+        assert (warning.scan, warning.from_executor, warning.to_executor) == (
+            "quote-batch", "batched", "sequential",
+        )
+
+    def test_transient_batch_fault_retries_batched(
+        self, mixed_solution, requests_by_size, clean_faults
+    ):
+        clean_faults.setenv(faults.FAULT_ENV, "quote_batch:once")
+
+        async def main():
+            server = QuoteServer(
+                mixed_solution,
+                batch_window=0.01,
+                retry=RetryPolicy(max_attempts=3, backoff=0.001, degrade=True),
+            )
+            await server.start("127.0.0.1", 0)
+            try:
+                return await server.quote(requests_by_size[0])
+            finally:
+                await server.stop()
+
+        quote = asyncio.run(main())
+        # One transient fault is absorbed by the retry, still batched.
+        _assert_identical(quote, mixed_solution.quote(requests_by_size[0]))
+        assert quote.batched is True
+
+    def test_no_degrade_policy_fails_typed(self, mixed_solution, clean_faults):
+        clean_faults.setenv(faults.FAULT_ENV, "quote_batch:always")
+
+        async def main():
+            server = QuoteServer(
+                mixed_solution,
+                batch_window=0.001,
+                retry=RetryPolicy(max_attempts=1, degrade=False),
+            )
+            await server.start("127.0.0.1", 0)
+            try:
+                with pytest.raises(ServingError, match="injected"):
+                    await server.quote(np.ones((1, mixed_solution.n_items)))
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_hot_reload_is_coherent_mid_flight(
+        self, mixed_solution, pure_solution, requests_by_size, tmp_path
+    ):
+        path = tmp_path / "replacement.json"
+        pure_solution.save(path)
+        old_fp = mixed_solution.fingerprint()
+        new_fp = pure_solution.fingerprint()
+
+        async def main():
+            server = QuoteServer(mixed_solution, batch_window=0.05, max_batch=64)
+            await server.start("127.0.0.1", 0)
+            try:
+                # Admit a wave, reload while it is still accumulating, then
+                # admit a second wave — all concurrently.
+                wave1 = [
+                    asyncio.create_task(server.quote(rows))
+                    for rows in requests_by_size
+                ]
+                await asyncio.sleep(0.0)
+                previous, current = await server.reload(path)
+                wave2 = [
+                    asyncio.create_task(server.quote(rows))
+                    for rows in requests_by_size
+                ]
+                return previous, current, await asyncio.gather(*wave1, *wave2)
+            finally:
+                await server.stop()
+
+        previous, current, quotes = asyncio.run(main())
+        assert (previous, current) == (old_fp, new_fp)
+        by_fp = {old_fp: mixed_solution, new_fp: pure_solution}
+        for quote, rows in zip(quotes, [*requests_by_size, *requests_by_size]):
+            # Coherence: whichever state priced the request, the stamped
+            # fingerprint names it and the prices are that solution's own.
+            _assert_identical(quote, by_fp[quote.fingerprint].quote(rows))
+        # The second wave ran entirely after the swap.
+        assert all(q.fingerprint == new_fp for q in quotes[len(requests_by_size):])
+
+    def test_failed_reload_keeps_old_state(
+        self, mixed_solution, pure_solution, requests_by_size, tmp_path, clean_faults
+    ):
+        path = tmp_path / "replacement.json"
+        pure_solution.save(path)
+
+        async def main():
+            server = QuoteServer(mixed_solution, batch_window=0.001)
+            await server.start("127.0.0.1", 0)
+            try:
+                clean_faults.setenv(faults.FAULT_ENV, "reload:always")
+                with pytest.raises(ReloadError, match="previous state retained"):
+                    await server.reload(path)
+                assert server.reload_failures == 1
+                with pytest.raises(ReloadError):
+                    await server.reload(tmp_path / "missing.json")
+                clean_faults.delenv(faults.FAULT_ENV)
+                faults.reset()
+                assert server.fingerprint == mixed_solution.fingerprint()
+                return await server.quote(requests_by_size[0]), server.health()
+            finally:
+                await server.stop()
+
+        quote, health = asyncio.run(main())
+        _assert_identical(quote, mixed_solution.quote(requests_by_size[0]))
+        assert health["counters"]["reload_failures"] == 2
+        assert health["last_reload_error"]
+
+
+# ================================================================ HTTP edge
+async def _http(reader, writer, method, path, payload=None):
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {len(body)}\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+    status_line = (await reader.readuntil(b"\r\n\r\n")).split(b"\r\n")
+    status = int(status_line[0].split()[1])
+    headers = {}
+    for line in status_line[1:]:
+        if b":" in line:
+            name, _, value = line.partition(b":")
+            headers[name.strip().lower().decode()] = value.strip().decode()
+    content = await reader.readexactly(int(headers.get("content-length", 0)))
+    return status, headers, json.loads(content) if content else None
+
+
+class TestHTTPFrontEnd:
+    def test_quote_roundtrip_hex_identical(self, mixed_solution, requests_by_size):
+        rows = requests_by_size[4]
+
+        async def main():
+            server = QuoteServer(mixed_solution, batch_window=0.005)
+            host, port = await server.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                status, headers, payload = await _http(
+                    reader, writer, "POST", "/quote", {"rows": rows.tolist()}
+                )
+                # Keep-alive: a second request rides the same connection.
+                ready = await _http(reader, writer, "GET", "/readyz")
+                return status, headers, payload, ready
+            finally:
+                writer.close()
+                await server.stop()
+
+        status, headers, payload, (ready_status, _, ready) = asyncio.run(main())
+        cold = mixed_solution.quote(rows)
+        assert status == 200
+        assert headers["x-solution-fingerprint"] == mixed_solution.fingerprint()
+        served = np.array([float.fromhex(h) for h in payload["payments_hex"]])
+        assert np.array_equal(served, np.asarray(cold.payments, dtype=np.float64))
+        assert float.fromhex(payload["revenue_hex"]) == cold.revenue
+        assert payload["fingerprint"] == mixed_solution.fingerprint()
+        assert ready_status == 200 and ready["ready"] is True
+
+    def test_error_statuses(self, mixed_solution):
+        n = mixed_solution.n_items
+
+        async def main():
+            server = QuoteServer(mixed_solution, batch_window=0.001)
+            host, port = await server.start("127.0.0.1", 0)
+            results = {}
+            try:
+                for key, method, path, payload in (
+                    ("bad_rows", "POST", "/quote", {"rows": [[None] * n]}),
+                    ("wrong_items", "POST", "/quote", {"rows": [[1.0] * (n + 3)]}),
+                    ("no_rows", "POST", "/quote", {}),
+                    ("bad_deadline", "POST", "/quote",
+                     {"rows": [[1.0] * n], "deadline": -1}),
+                    ("not_found", "GET", "/nope", None),
+                    ("bad_method", "GET", "/quote", None),
+                ):
+                    reader, writer = await asyncio.open_connection(host, port)
+                    results[key] = await _http(reader, writer, method, path, payload)
+                    writer.close()
+                return results
+            finally:
+                await server.stop()
+
+        results = asyncio.run(main())
+        assert results["bad_rows"][0] == 400
+        assert results["wrong_items"][0] == 400
+        assert results["no_rows"][0] == 400
+        assert results["bad_deadline"][0] == 400
+        assert results["not_found"][0] == 404
+        assert results["bad_method"][0] == 405
+        assert results["bad_rows"][2]["error"] == "ValidationError"
+
+    def test_overload_and_deadline_over_http(self, mixed_solution):
+        rows = [[1.0] * mixed_solution.n_items]
+
+        async def main():
+            server = QuoteServer(mixed_solution, queue_depth=1, deadline=0.15)
+            host, port = await server.start("127.0.0.1", 0)
+            # Wedge pricing so requests queue: stop the batcher outright.
+            await server.batcher.stop()
+            try:
+                r1, w1 = await asyncio.open_connection(host, port)
+                first = asyncio.create_task(
+                    _http(r1, w1, "POST", "/quote", {"rows": rows})
+                )
+                await asyncio.sleep(0.03)
+                r2, w2 = await asyncio.open_connection(host, port)
+                shed = await _http(r2, w2, "POST", "/quote", {"rows": rows})
+                timed_out = await first
+                w1.close()
+                w2.close()
+                return shed, timed_out
+            finally:
+                await server.stop()
+
+        shed, timed_out = asyncio.run(main())
+        assert shed[0] == 429
+        assert shed[1]["retry-after"] == "1"
+        assert shed[2]["error"] == "ServerOverloadedError"
+        assert timed_out[0] == 504
+        assert timed_out[2]["error"] == "QuoteDeadlineError"
+
+    def test_slow_client_read_timeout(self, mixed_solution, clean_faults):
+        clean_faults.setenv(faults.FAULT_ENV, "slow_client:2")
+
+        async def main():
+            server = QuoteServer(mixed_solution, read_timeout=0.05)
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                status, _, payload = await _http(
+                    reader, writer, "GET", "/healthz"
+                )
+                eof = await reader.read(1)
+                writer.close()
+                return status, payload, eof, server.read_timeouts
+            finally:
+                await server.stop()
+
+        status, payload, eof, read_timeouts = asyncio.run(main())
+        assert status == 408
+        assert payload["error"] == "RequestReadTimeout"
+        assert eof == b""  # the stalled connection is closed, not kept
+        assert read_timeouts == 1
+
+    def test_reload_and_health_over_http(
+        self, mixed_solution, pure_solution, tmp_path
+    ):
+        path = tmp_path / "replacement.json"
+        pure_solution.save(path)
+        rows = [[2.0] * mixed_solution.n_items]
+
+        async def main():
+            server = QuoteServer(mixed_solution, batch_window=0.005)
+            host, port = await server.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                reloaded = await _http(
+                    reader, writer, "POST", "/reload", {"path": str(path)}
+                )
+                quote = await _http(reader, writer, "POST", "/quote", {"rows": rows})
+                health = await _http(reader, writer, "GET", "/healthz")
+                missing = await _http(
+                    reader, writer, "POST", "/reload",
+                    {"path": str(tmp_path / "gone.json")},
+                )
+                return reloaded, quote, health, missing
+            finally:
+                writer.close()
+                await server.stop()
+
+        reloaded, quote, health, missing = asyncio.run(main())
+        new_fp = pure_solution.fingerprint()
+        assert reloaded[0] == 200
+        assert reloaded[2] == {
+            "previous_fingerprint": mixed_solution.fingerprint(),
+            "fingerprint": new_fp,
+        }
+        assert quote[0] == 200 and quote[2]["fingerprint"] == new_fp
+        served = np.array([float.fromhex(h) for h in quote[2]["payments_hex"]])
+        cold = pure_solution.quote(np.asarray(rows))
+        assert np.array_equal(served, np.asarray(cold.payments, dtype=np.float64))
+        assert health[2]["status"] == "serving"
+        assert health[2]["fingerprint"] == new_fp
+        assert health[2]["counters"]["reloads"] == 1
+        assert missing[0] == 500 and missing[2]["error"] == "ReloadError"
+
+    def test_unloaded_server_not_ready(self):
+        async def main():
+            server = QuoteServer(None)
+            host, port = await server.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                ready = await _http(reader, writer, "GET", "/readyz")
+                quote = await _http(
+                    reader, writer, "POST", "/quote", {"rows": [[1.0]]}
+                )
+                return ready, quote
+            finally:
+                writer.close()
+                await server.stop()
+
+        ready, quote = asyncio.run(main())
+        assert ready[0] == 503 and ready[2]["ready"] is False
+        assert quote[0] == 500 and quote[2]["error"] == "ServingError"
+
+
+# ===================================================== persisted fingerprint
+class TestSolutionFingerprintVerification:
+    def test_save_embeds_and_load_verifies(self, mixed_solution, tmp_path):
+        path = tmp_path / "solution.json"
+        mixed_solution.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["fingerprint"] == mixed_solution.fingerprint()
+        assert BundlingSolution.load(path).fingerprint() == mixed_solution.fingerprint()
+
+    def test_tampered_artifact_rejected(self, mixed_solution, tmp_path):
+        path = tmp_path / "solution.json"
+        mixed_solution.save(path)
+        payload = json.loads(path.read_text())
+        entry = payload["offers"][0]
+        entry["price_hex"] = float(float.fromhex(entry["price_hex"]) + 0.25).hex()
+        entry["price"] = float.fromhex(entry["price_hex"])
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="fingerprint mismatch"):
+            BundlingSolution.load(path)
+
+    def test_pre_fingerprint_artifact_still_loads(self, mixed_solution, tmp_path):
+        path = tmp_path / "solution.json"
+        mixed_solution.save(path)
+        payload = json.loads(path.read_text())
+        del payload["fingerprint"]
+        path.write_text(json.dumps(payload))
+        loaded = BundlingSolution.load(path)
+        assert loaded.fingerprint() == mixed_solution.fingerprint()
+
+    def test_quote_rejects_non_finite_rows(self, mixed_solution):
+        rows = np.ones((3, mixed_solution.n_items))
+        for bad in (np.nan, np.inf):
+            corrupted = rows.copy()
+            corrupted[1, 2] = bad
+            with pytest.raises(ValidationError, match="non-finite"):
+                mixed_solution.quote(corrupted)
+
+
+# ========================================================== SIGINT handling
+_INTERRUPT_DRIVER = r"""
+import os, signal, sys
+import repro.api.checkpoint as ckpt
+real = ckpt.write_fit_checkpoint
+calls = {"n": 0}
+def patched(*args, **kwargs):
+    real(*args, **kwargs)
+    calls["n"] += 1
+    if calls["n"] == 1:
+        os.kill(os.getpid(), signal.SIGINT)
+ckpt.write_fit_checkpoint = patched
+from repro.__main__ import main
+sys.exit(main([
+    "bundle", "--algorithm", "mixed_greedy", "--users", "80", "--items", "12",
+    "--checkpoint", "fit.ckpt", "--save-solution", "interrupted.json",
+]))
+"""
+
+
+class TestGracefulSigint:
+    def test_sigint_flushes_checkpoint_and_resume_matches(self, tmp_path):
+        """Ctrl-C mid-fit: exit 130, resumable checkpoint, bit-identical finish."""
+        env = {**os.environ, "PYTHONPATH": SRC}
+        interrupted = subprocess.run(
+            [sys.executable, "-c", _INTERRUPT_DRIVER],
+            cwd=tmp_path, env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert interrupted.returncode == 130, interrupted.stderr
+        assert "checkpoint flushed" in interrupted.stderr
+        assert "--resume" in interrupted.stderr
+        assert (tmp_path / "fit.ckpt").exists()
+        # The interrupted run must not have written a (partial) solution.
+        assert not (tmp_path / "interrupted.json").exists()
+
+        common = ["--users", "80", "--items", "12"]
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "bundle", "--checkpoint", "fit.ckpt",
+             "--resume", *common, "--save-solution", "resumed.json"],
+            cwd=tmp_path, env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        uninterrupted = subprocess.run(
+            [sys.executable, "-m", "repro", "bundle", "--algorithm", "mixed_greedy",
+             *common, "--save-solution", "full.json"],
+            cwd=tmp_path, env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+        resumed_solution = BundlingSolution.load(tmp_path / "resumed.json")
+        full_solution = BundlingSolution.load(tmp_path / "full.json")
+        assert resumed_solution.fingerprint() == full_solution.fingerprint()
+
+    def test_second_sigint_aborts_immediately(self):
+        from repro.api.checkpoint import graceful_sigint, interrupt_requested
+
+        with graceful_sigint():
+            assert not interrupt_requested()
+            os.kill(os.getpid(), signal.SIGINT)
+            assert interrupt_requested()
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+        # Handler restored and flag cleared on exit.
+        assert not interrupt_requested()
+        assert signal.getsignal(signal.SIGINT) is signal.default_int_handler
