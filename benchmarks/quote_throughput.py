@@ -14,7 +14,15 @@ to that promise, and records what the warm path buys:
   post-reload response against the *new* solution, fingerprint-pinned;
 * measures sustained quotes/sec plus p50/p99 per-request latency under
   concurrent load, and the cold-vs-warm single-request speedup;
-* writes ``BENCH_serving.json`` (uploaded as a CI artifact) either way.
+* with ``--workers N`` (N >= 2), additionally boots a supervised
+  multi-process fleet (:class:`repro.serving.ServingSupervisor`) behind
+  one socket and holds every HTTP-routed quote to the same bit-identity
+  gate; ``--chaos`` then SIGKILLs one worker mid-load and asserts **zero**
+  client-visible failures — the respawn and routing failover must absorb
+  the crash entirely;
+* writes ``BENCH_serving.json`` (uploaded as a CI artifact) either way —
+  the fleet and chaos legs ride in the same report next to the
+  single-process rows.
 
 With fewer than two cores the event loop and the kernel worker thread
 share one CPU and the latency numbers measure scheduling, not serving —
@@ -31,7 +39,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import platform
+import signal
 import statistics
 import sys
 import tempfile
@@ -184,6 +194,157 @@ async def _run_serving(args, primary, replacement, n_items, report) -> bool:
         await server.stop()
 
 
+async def _fleet_http(host, port, method, path, payload=None):
+    """One HTTP exchange against the fleet (fresh connection each time)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, content = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(content) if content else None
+
+
+def _fleet_identical(headers, body, cold, fingerprint) -> bool:
+    payments = np.array([float.fromhex(p) for p in body["payments_hex"]])
+    return (
+        np.array_equal(payments, np.asarray(cold.payments, dtype=np.float64))
+        and float.fromhex(body["revenue_hex"]) == cold.revenue
+        and headers.get("x-solution-fingerprint") == fingerprint
+    )
+
+
+async def _run_fleet(args, primary, n_items, report) -> bool:
+    """The multi-process leg: routed bit-identity, then the chaos kill."""
+    from repro.serving import ServingSupervisor
+
+    rng = np.random.default_rng(11)
+    fingerprint = primary.fingerprint()
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "primary.json"
+        primary.save(path)
+        fleet = ServingSupervisor(
+            path,
+            workers=args.workers,
+            deadline=10.0,
+            queue_depth=max(args.concurrency * 4, 64),
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            route_budget=60.0,
+        )
+        started = time.perf_counter()
+        host, port = await fleet.start("127.0.0.1", 0)
+        launch_seconds = time.perf_counter() - started
+        try:
+            # ------------------------------------------ routed bit-identity
+            requests = _requests(rng, args.identity_requests, n_items)
+            served = await asyncio.gather(
+                *[
+                    _fleet_http(host, port, "POST", "/quote", {"rows": rows.tolist()})
+                    for rows in requests
+                ]
+            )
+            failures = sum(status != 200 for status, _, _ in served)
+            mismatches = sum(
+                status == 200
+                and not _fleet_identical(
+                    headers, body, primary.quote(rows), fingerprint
+                )
+                for (status, headers, body), rows in zip(served, requests)
+            )
+
+            # ------------------------------------------------- chaos (kill)
+            chaos = {"ran": False}
+            if args.chaos:
+                blocks = _requests(rng, args.chaos_requests, n_items)
+                chaos_failures = 0
+                chaos_mismatches = 0
+
+                async def chaos_client(client_blocks) -> None:
+                    nonlocal chaos_failures, chaos_mismatches
+                    for rows in client_blocks:
+                        status, headers, body = await _fleet_http(
+                            host, port, "POST", "/quote", {"rows": rows.tolist()}
+                        )
+                        if status != 200:
+                            chaos_failures += 1
+                        elif not _fleet_identical(
+                            headers, body, primary.quote(rows), fingerprint
+                        ):
+                            chaos_mismatches += 1
+
+                async def killer() -> None:
+                    await asyncio.sleep(0.2)
+                    victim = next(
+                        (h for h in fleet.handles if h.phase == "ready" and h.pid),
+                        None,
+                    )
+                    if victim is not None:
+                        chaos["killed_pid"] = victim.pid
+                        os.kill(victim.pid, signal.SIGKILL)
+
+                per_client = [
+                    blocks[index :: args.concurrency]
+                    for index in range(args.concurrency)
+                ]
+                chaos_started = time.perf_counter()
+                await asyncio.gather(
+                    *[chaos_client(client_blocks) for client_blocks in per_client],
+                    killer(),
+                )
+                chaos = {
+                    "ran": True,
+                    "killed_pid": chaos.get("killed_pid"),
+                    "requests": len(blocks),
+                    "failed_quotes": chaos_failures,
+                    "mismatches": chaos_mismatches,
+                    "wall_seconds": round(time.perf_counter() - chaos_started, 3),
+                    "gate": "SIGKILL one worker mid-load: zero client-visible "
+                    "failures, every quote still bit-identical",
+                }
+
+            health = fleet.health()
+            passed = failures == 0 and mismatches == 0
+            if chaos["ran"]:
+                passed = (
+                    passed
+                    and chaos["failed_quotes"] == 0
+                    and chaos["mismatches"] == 0
+                    and health["counters"]["worker_deaths"] >= 1
+                    and health["counters"]["respawns"] >= 1
+                )
+            report["fleet"] = {
+                "workers": args.workers,
+                "launch_seconds": round(launch_seconds, 3),
+                "identity_requests": len(requests),
+                "failed_quotes": failures,
+                "mismatches": mismatches,
+                "chaos": chaos,
+                "health": health,
+                "passed": passed,
+                "gate": "every HTTP-routed quote bit-identical to "
+                "solution.quote(), zero failures across a worker kill",
+            }
+            return passed
+        finally:
+            await fleet.stop()
+
+
 def build_report(args) -> tuple[dict, int]:
     """The serving-smoke report plus the process exit code."""
     cpu_count = available_cpus()
@@ -216,6 +377,14 @@ def build_report(args) -> tuple[dict, int]:
         print("FAIL: served quotes differ from solution.quote()", file=sys.stderr)
     elif not passed:
         print("FAIL: serving gate not met (see summary)", file=sys.stderr)
+    if args.workers >= 2:
+        fleet_passed = asyncio.run(_run_fleet(args, primary, n_items, report))
+        print(json.dumps(report["fleet"], indent=1, default=str))
+        if not fleet_passed:
+            print("FAIL: fleet gate not met (see fleet report)", file=sys.stderr)
+        passed = passed and fleet_passed
+    elif args.chaos:
+        print("note: --chaos needs --workers >= 2; chaos leg skipped")
     return report, 0 if passed else 1
 
 
@@ -235,6 +404,20 @@ def main() -> int:
     )
     parser.add_argument("--batch-window", type=float, default=0.002)
     parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="also run the supervised-fleet leg with this many worker "
+        "processes (>= 2 to engage)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="during the fleet leg, SIGKILL one worker mid-load and require "
+        "zero client-visible failures (needs --workers >= 2)",
+    )
+    parser.add_argument(
+        "--chaos-requests", type=int, default=120,
+        help="requests fired during the chaos leg",
+    )
     parser.add_argument(
         "--force", action="store_true",
         help="run even on <2 cores (numbers then include scheduling "

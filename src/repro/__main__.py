@@ -21,6 +21,10 @@ Commands
     solution: warm precomputed state, micro-batched quoting (bit-identical
     to ``repro quote``), per-request deadlines, bounded admission with
     explicit load shedding, and coherent hot reload via ``POST /reload``.
+    With ``--workers N`` (N >= 2) the supervised fleet runs instead: N
+    worker processes sharing one menu copy via shared memory, crash
+    respawn with backoff, per-worker circuit breakers, rolling
+    zero-downtime reload, and graceful SIGTERM drain.
 ``shm-audit``
     List ``repro-*`` shared-memory blocks orphaned by a hard-killed run
     (SIGKILL skips the in-process reaper); ``--reap`` unlinks them.
@@ -34,7 +38,10 @@ ladder (:class:`~repro.errors.ExecutorError`), 4 for scan timeouts
 (:class:`~repro.errors.ScanTimeoutError`), 5 for shared-memory failures
 (:class:`~repro.errors.SharedMemoryError`), 6 for unusable checkpoints
 (:class:`~repro.errors.CheckpointError`), 7 for serving failures
-(:class:`~repro.errors.ServingError`), and 130 (128 + SIGINT) when a
+(:class:`~repro.errors.ServingError`), 8 when the serving fleet loses its
+workers past recovery (:class:`~repro.errors.WorkerCrashError`), 9 when
+every worker's circuit breaker is open
+(:class:`~repro.errors.CircuitOpenError`), and 130 (128 + SIGINT) when a
 checkpointed fit is interrupted by Ctrl-C *after* flushing a final
 resumable checkpoint (:class:`~repro.errors.FitInterruptedError`).
 
@@ -51,6 +58,7 @@ Examples
     python -m repro bundle --checkpoint fit.ckpt --resume --save-solution menu.json
     python -m repro quote --solution menu.json --ratings new_users.csv --prices p.csv
     python -m repro serve --solution menu.json --port 8707 --deadline 0.5
+    python -m repro serve --solution menu.json --workers 4 --drain-timeout 5
     python -m repro experiment table2
     python -m repro generate --users 500 --items 80 --out-ratings r.csv --out-prices p.csv
     python -m repro shm-audit --reap
@@ -69,12 +77,14 @@ from repro.data.synthetic import amazon_books_like
 from repro.data.wtp_mapping import DEFAULT_LAMBDA, wtp_from_ratings
 from repro.errors import (
     CheckpointError,
+    CircuitOpenError,
     ExecutorError,
     FitInterruptedError,
     ReproError,
     ScanTimeoutError,
     ServingError,
     SharedMemoryError,
+    WorkerCrashError,
 )
 
 EXPERIMENTS = ("table1", "table2", "table45", "table6",
@@ -86,6 +96,8 @@ _EXIT_CODES = (
     (SharedMemoryError, 5),
     (ExecutorError, 3),
     (CheckpointError, 6),
+    (WorkerCrashError, 8),
+    (CircuitOpenError, 9),
     (ServingError, 7),
     (FitInterruptedError, 130),
 )
@@ -235,6 +247,27 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--read-timeout", type=float, default=5.0, metavar="SECONDS",
         help="per-connection budget for reading one request (408 past it)",
+    )
+    fleet = serve.add_argument_group("fleet (multi-process) serving")
+    fleet.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; >= 2 runs the supervised fleet (shared-"
+             "memory menu, crash respawn, circuit breakers, rolling reload)",
+    )
+    fleet.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful SIGTERM drain budget: finish in-flight quotes up to "
+             "this long before exiting (a second SIGTERM aborts)",
+    )
+    fleet.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive routed failures that open a worker's circuit "
+             "breaker (fleet mode only)",
+    )
+    fleet.add_argument(
+        "--heartbeat-interval", type=float, default=0.25, metavar="SECONDS",
+        help="worker heartbeat cadence; a worker silent for ~6 intervals "
+             "is killed and respawned (fleet mode only)",
     )
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -432,6 +465,9 @@ def _command_quote(args) -> int:
 def _command_serve(args) -> int:
     import asyncio
 
+    if args.workers >= 2:
+        return _serve_fleet(args)
+
     from repro.serving import QuoteServer
 
     try:
@@ -456,7 +492,12 @@ def _command_serve(args) -> int:
         print("endpoints: POST /quote, POST /reload, GET /healthz, GET /readyz")
 
     try:
-        asyncio.run(server.serve_forever(args.host, args.port, banner=banner))
+        return asyncio.run(
+            server.serve_forever(
+                args.host, args.port, banner=banner,
+                drain_timeout=args.drain_timeout,
+            )
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return _exit_code(exc)
@@ -468,6 +509,48 @@ def _command_serve(args) -> int:
               file=sys.stderr)
         return 7
     return 0
+
+
+def _serve_fleet(args) -> int:
+    import asyncio
+
+    from repro.serving import ServingSupervisor
+
+    try:
+        supervisor = ServingSupervisor(
+            args.solution,
+            workers=args.workers,
+            deadline=args.deadline,
+            queue_depth=args.queue_depth,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            read_timeout=args.read_timeout,
+            heartbeat_interval=args.heartbeat_interval,
+            breaker_threshold=args.breaker_threshold,
+            drain_timeout=args.drain_timeout,
+        )
+    except ReproError as exc:
+        print(f"error: cannot serve {args.solution}: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+
+    def banner(host, port):
+        print(f"serving fleet of {args.workers} workers on http://{host}:{port}")
+        print(f"solution fingerprint: {supervisor.fingerprint}")
+        print("endpoints: POST /quote, POST /reload, GET /healthz, GET /readyz")
+
+    try:
+        return asyncio.run(
+            supervisor.serve_forever(args.host, args.port, banner=banner)
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 7
 
 
 def _command_experiment(args) -> int:

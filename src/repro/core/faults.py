@@ -51,6 +51,28 @@ Sites consulted by the serving stack (:mod:`repro.serving`):
     the per-connection read timeout trips and the connection is closed
     with 408 instead of pinning a handler forever.
 
+Sites consulted by the serving *fleet* (:mod:`repro.serving.supervisor` /
+:mod:`repro.serving.worker`):
+
+``worker_crash`` (shared with the scan executor)
+    A fleet worker process SIGKILLs itself before pricing a batch — the
+    supervisor must detect the death, retry the batch's requests on a
+    sibling, and respawn the worker (only ever fires inside a worker
+    process, like the scan-side site).
+``worker_spawn``
+    A freshly spawned fleet worker exits before reporting ready, as if
+    its interpreter failed to come up — exercising the supervisor's
+    respawn-with-backoff path.  Use ``latch:`` to fail exactly one spawn;
+    ``always`` makes the fleet unstartable (the startup-failure path).
+``heartbeat``
+    A fleet worker stops sending heartbeats *permanently* once the rule
+    first fires (a single missed beat is below the detection threshold) —
+    the supervisor's heartbeat timeout must kill and respawn it.
+``route``
+    The supervisor treats the worker it just picked as failed without
+    contacting it — deterministic food for the per-worker circuit
+    breaker (failover to a sibling, closed → open → half-open).
+
 Trigger grammar (per rule):
 
 ``once``
@@ -60,6 +82,9 @@ Trigger grammar (per rule):
 ``0.25`` (a float in ``(0, 1)``, written with a decimal point)
     Fire with that probability, drawn from a :class:`random.Random` seeded
     by ``REPRO_FAULT_SEED`` (default 0) — deterministic per process.
+``probability=0.25``
+    The same, spelled explicitly (any float in ``(0, 1)`` is accepted,
+    decimal point or not).
 ``3`` (any other number)
     Fire on every consultation with ``3.0`` as the numeric argument
     (:func:`fire` returns it; the ``chunk_timeout`` site reads it as a
@@ -175,6 +200,21 @@ def parse_fault_spec(spec: str) -> dict[str, FaultRule]:
             if not path:
                 raise ValidationError(f"fault rule {raw!r} needs a latch path")
             rules[site] = FaultRule(site, "latch", path=path)
+        elif trigger.startswith("probability="):
+            raw_value = trigger[len("probability="):]
+            try:
+                value = float(raw_value)
+            except ValueError:
+                raise ValidationError(
+                    f"fault probability {raw_value!r} for site {site!r} is "
+                    "not a number"
+                ) from None
+            if not 0.0 < value < 1.0:
+                raise ValidationError(
+                    f"fault probability for site {site!r} must be in (0, 1), "
+                    f"got {value}"
+                )
+            rules[site] = FaultRule(site, "probability", value)
         else:
             try:
                 value = float(trigger)

@@ -440,6 +440,106 @@ class SharedWTPStore:
         return len(self._blocks)
 
 
+# ----------------------------------------------------- shared serving state
+class SharedServingBlocks:
+    """Picklable handles to one serving menu published in shared memory.
+
+    The serving fleet (:mod:`repro.serving.supervisor`) precomputes a
+    solution's menu-side arrays — per-offer price vector, concatenated
+    support indices with offsets, Equation-1 scale factors — exactly once
+    in the supervisor, publishes them through a :class:`SharedWTPStore`,
+    and hands each worker process this handle bundle instead of N private
+    copies.  ``fingerprint`` names the solution the blocks were built
+    from, so an attaching worker can refuse blocks that do not match the
+    solution it loaded (a supervisor/worker version skew would otherwise
+    price silently wrong).
+
+    Like every :class:`SharedArrayView`, the handles pickle as
+    ``(name, shape, dtype)`` and attach by name; block lifetime belongs
+    to the supervisor's store (and, for hard kills, to the reaper /
+    ``shm-audit`` machinery — the blocks carry the ``repro-`` prefix).
+    """
+
+    __slots__ = ("fingerprint", "prices", "supports", "offsets", "scales")
+
+    def __init__(
+        self,
+        fingerprint: str,
+        prices: SharedArrayView,
+        supports: SharedArrayView,
+        offsets: SharedArrayView,
+        scales: SharedArrayView,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.prices = prices
+        self.supports = supports
+        self.offsets = offsets
+        self.scales = scales
+
+    def __getstate__(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+
+    def open(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Attach all four blocks: ``(prices, supports, offsets, scales)``."""
+        return (
+            self.prices.open(),
+            self.supports.open(),
+            self.offsets.open(),
+            self.scales.open(),
+        )
+
+    def close(self) -> None:
+        """Detach from every block (never unlinks; lifetime is the store's)."""
+        for view in (self.prices, self.supports, self.offsets, self.scales):
+            view.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedServingBlocks(fingerprint={self.fingerprint[:12]}..., "
+            f"offers={self.prices.shape[0]})"
+        )
+
+
+def publish_serving_blocks(
+    store: SharedWTPStore,
+    *,
+    fingerprint: str,
+    price_vector: np.ndarray,
+    offer_supports: Sequence[np.ndarray],
+    offer_scales: Sequence[float],
+    key_prefix: str = "serving",
+) -> SharedServingBlocks:
+    """Publish one serving menu's arrays into *store*; returns the handles.
+
+    The per-offer support index arrays are concatenated into one block
+    next to an offsets block (``supports[offsets[i]:offsets[i+1]]`` is
+    offer *i*'s support), so the whole menu is four named segments no
+    matter how many offers it has.  ``key_prefix`` namespaces the store
+    keys so a rolling reload can stage a second menu in the same store
+    while the first is still being served.
+    """
+    supports = [np.ascontiguousarray(items, dtype=np.intp) for items in offer_supports]
+    offsets = np.zeros(len(supports) + 1, dtype=np.intp)
+    if supports:
+        np.cumsum([items.size for items in supports], out=offsets[1:])
+    concatenated = np.concatenate(supports) if supports else np.empty(0, dtype=np.intp)
+    return SharedServingBlocks(
+        fingerprint=str(fingerprint),
+        prices=store.put(
+            f"{key_prefix}-prices", np.asarray(price_vector, dtype=np.float64)
+        ),
+        supports=store.put(f"{key_prefix}-supports", concatenated),
+        offsets=store.put(f"{key_prefix}-offsets", offsets),
+        scales=store.put(
+            f"{key_prefix}-scales", np.asarray(offer_scales, dtype=np.float64)
+        ),
+    )
+
+
 # ------------------------------------------------------------ picklable fills
 class SharedPairFill:
     """Pure-merge fill: column ``k`` is ``(raw[i] + raw[j]) · scale``.

@@ -146,3 +146,44 @@ class ReloadError(ServingError):
     injected ``reload`` fault — leaves the server answering from the old
     state with its old fingerprint.
     """
+
+
+class ReloadConflictError(ReloadError):
+    """A reload is already in flight; this one was rejected, not queued.
+
+    Returned as HTTP 409.  Queueing concurrent reloads behind the reload
+    lock would re-run each one serially against whatever state the
+    previous left — surprising and wasteful.  The error carries the
+    in-flight reload's target path so the caller can tell whether its
+    request is already being satisfied.
+    """
+
+    def __init__(self, in_flight_path):
+        self.in_flight_path = None if in_flight_path is None else str(in_flight_path)
+        super().__init__(
+            f"a reload of {self.in_flight_path!r} is already in flight; "
+            "retry once it completes"
+        )
+
+
+class WorkerCrashError(ServingError):
+    """No live serving worker could answer within the routing budget.
+
+    Raised by the :class:`~repro.serving.supervisor.ServingSupervisor`
+    when every worker in the fleet is dead or respawning for longer than
+    the routing budget tolerates (HTTP 503), and at startup when no worker
+    ever becomes ready.  A single worker death is *not* this error — the
+    supervisor retries the request on a sibling and respawns the dead
+    worker with exponential backoff; the CLI maps the family to exit 8.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """Every routable worker's circuit breaker is open (HTTP 503).
+
+    A worker that keeps failing requests trips its per-worker breaker
+    (closed → open) so traffic sheds to its siblings instead of eating
+    deadlines; after a cooldown the breaker goes half-open and admits one
+    probe request, closing again on success.  This error means no worker
+    currently admits traffic — the fleet is alive but sick.  CLI exit 9.
+    """

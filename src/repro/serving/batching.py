@@ -81,6 +81,12 @@ class MicroBatcher:
         #: quoting — the ``/healthz`` "degraded" signal; a later batch that
         #: prices batched again clears it (the fallback is self-healing).
         self.last_batch_degraded = False
+        #: EWMA of observed wall-clock seconds per priced batch — the basis
+        #: of the 429 ``Retry-After`` estimate (None until a batch lands).
+        self.observed_batch_seconds: float | None = None
+        #: True while a batch is being assembled or priced; with an empty
+        #: admission queue, its falling edge is the drain condition.
+        self.in_flight = False
 
     # ---------------------------------------------------------------- control
     def start(self) -> None:
@@ -105,6 +111,7 @@ class MicroBatcher:
     async def _run(self) -> None:
         while True:
             ticket = await self.queue.take()
+            self.in_flight = True
             batch = [ticket]
             if self.max_batch > 1 and self.batch_window > 0:
                 loop = asyncio.get_running_loop()
@@ -128,9 +135,19 @@ class MicroBatcher:
                 # tickets with a typed error and keep serving.
                 for ticket in batch:
                     ticket.fail(ServingError(f"internal serving failure: {exc!r}"))
+            finally:
+                self.in_flight = False
+
+    def _record_batch_seconds(self, elapsed: float) -> None:
+        """Fold one batch's wall clock into the EWMA (20% new, 80% old)."""
+        if self.observed_batch_seconds is None:
+            self.observed_batch_seconds = elapsed
+        else:
+            self.observed_batch_seconds += 0.2 * (elapsed - self.observed_batch_seconds)
 
     async def _price_batch(self, batch: list[QuoteTicket]) -> None:
         loop = asyncio.get_running_loop()
+        started = loop.time()
         state = self.state_of()
         self.batches += 1
         live: list[QuoteTicket] = []
@@ -188,11 +205,13 @@ class MicroBatcher:
                 self.degraded_batches += 1
                 self.last_batch_degraded = True
                 await self._price_sequential(state, live)
+                self._record_batch_seconds(loop.time() - started)
                 return
         self.last_batch_degraded = False
         for ticket, quote in zip(live, quotes):
             self.quotes += 1
             ticket.resolve(quote)
+        self._record_batch_seconds(loop.time() - started)
 
     async def _price_sequential(self, state: ServingState, live: list[QuoteTicket]) -> None:
         """The degraded rung: one request per kernel call, same arithmetic."""

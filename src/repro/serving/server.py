@@ -24,13 +24,27 @@ Endpoints::
                    -> 504 QuoteDeadlineError    (deadline expired)
     POST /reload   {"path": "solution.json"}
                    -> 200 old/new fingerprints; failure keeps old state
+                   -> 409 ReloadConflictError (another reload in flight;
+                      payload names its target path)
     GET  /healthz  -> 200 live counters (queue depth, sheds, degraded
-                      batches, reloads) — real state, not heuristics
+                      batches, reloads) — real state, not heuristics;
+                      ``status`` is "draining" once close/drain begins
     GET  /readyz   -> 200 once a solution is loaded and the batcher runs,
-                      503 otherwise
+                      503 otherwise (and while draining, with a
+                      ``draining`` flag in the body)
 
 Every response carries ``X-Solution-Fingerprint`` so clients observe
-version skew across hot reloads without parsing bodies.
+version skew across hot reloads without parsing bodies.  429 responses
+carry a ``Retry-After`` computed from live queue depth × the observed
+per-batch wall clock (EWMA), capped at :data:`MAX_RETRY_AFTER` — not a
+hardcoded constant.
+
+Lifecycle: :meth:`QuoteServer.drain` refuses new work, finishes in-flight
+quotes, and stops; :meth:`QuoteServer.serve_forever` wires it to SIGTERM
+(first SIGTERM drains and exits 0, a second aborts with 143) while SIGINT
+keeps its fast-stop behaviour.  The module-level :func:`read_http_request`
+/ :func:`write_http_response` helpers are the HTTP edge shared with the
+fleet supervisor (:mod:`repro.serving.supervisor`).
 
 Deadline guarantee: the handler awaits the ticket's future under
 ``asyncio.wait_for`` with its *own* clock — even a kernel thread that
@@ -42,6 +56,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import os
 import time
 
 import numpy as np
@@ -49,12 +65,15 @@ import numpy as np
 from repro.core import faults
 from repro.core.retry import RetryPolicy
 from repro.errors import (
+    CircuitOpenError,
     QuoteDeadlineError,
+    ReloadConflictError,
     ReloadError,
     ReproError,
     ServerOverloadedError,
     ServingError,
     ValidationError,
+    WorkerCrashError,
 )
 from repro.serving.admission import AdmissionQueue, QuoteTicket
 from repro.serving.batching import MicroBatcher
@@ -66,15 +85,21 @@ DEFAULT_MAX_BODY = 16 * 1024 * 1024
 #: Stream buffer limit — must fit a full header block comfortably.
 _HEADER_LIMIT = 64 * 1024
 
+#: Ceiling on the computed 429 ``Retry-After`` (seconds): however deep the
+#: backlog estimate, never tell a client to stay away longer than this.
+MAX_RETRY_AFTER = 30
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -86,9 +111,93 @@ def _status_of(error: BaseException) -> int:
         return 504
     if isinstance(error, ServerOverloadedError):
         return 429
+    if isinstance(error, ReloadConflictError):
+        return 409
+    if isinstance(error, (WorkerCrashError, CircuitOpenError)):
+        return 503
     if isinstance(error, ValidationError):
         return 400
     return 500
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, *, max_body_bytes: int = DEFAULT_MAX_BODY
+):
+    """One parsed request — ``(method, path, headers, body)`` — or None at EOF.
+
+    The serving edge shared by :class:`QuoteServer` and the fleet
+    supervisor.  Consults the ``slow_client`` fault site (a stalled read
+    that the caller's ``wait_for`` must bound) and raises the module's
+    :class:`_MalformedRequest` / :class:`_BodyTooLarge` internals for the
+    caller to map to 400 / 413.
+    """
+    delay = faults.fire("slow_client")
+    if delay is not None:
+        # Stand-in for a client dribbling bytes: stall the read so the
+        # caller's wait_for trips its read timeout.
+        await asyncio.sleep(float(delay))
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _MalformedRequest("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise _MalformedRequest("header block too large") from None
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise _MalformedRequest("unparseable request line") from None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise _MalformedRequest(f"bad Content-Length: {length_header!r}") from None
+    if length < 0:
+        raise _MalformedRequest(f"bad Content-Length: {length_header!r}")
+    if length > max_body_bytes:
+        raise _BodyTooLarge(
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit"
+        )
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise _MalformedRequest("connection closed mid-body") from None
+    return method.upper(), target.split("?", 1)[0], headers, body
+
+
+async def write_http_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    *,
+    keep_alive: bool,
+    extra_headers: list[str] | None = None,
+) -> None:
+    """Serialize one HTTP/1.1 JSON response (best-effort on a gone peer)."""
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if extra_headers:
+        head.extend(extra_headers)
+    try:
+        writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass  # the peer is gone; nothing left to tell it
 
 
 class QuoteServer:
@@ -151,6 +260,21 @@ class QuoteServer:
         )
         self._server: asyncio.base_events.Server | None = None
         self._reload_lock: asyncio.Lock | None = None
+        #: Reload target currently being applied (the 409 payload for a
+        #: concurrent ``POST /reload``); None outside a reload.
+        self._reload_target: str | None = None
+        #: Open client connections — force-closed at :meth:`stop` so idle
+        #: keep-alive peers cannot pin shutdown.
+        self._connections: set[asyncio.StreamWriter] = set()
+        #: True once drain/close has begun: new work is refused with 503
+        #: and the health endpoints report ``draining``.
+        self.draining = False
+        #: Quotes between admission and resolution.  Drain waits on this
+        #: rather than queue/batch introspection: a ticket is invisible to
+        #: both in the instant after the batcher dequeues it and before it
+        #: marks the batch in flight, and a drain poll landing in that gap
+        #: would tear down mid-quote.
+        self._open_quotes = 0
         self._started_at = time.monotonic()
         self.requests = 0
         self.deadline_timeouts = 0
@@ -189,6 +313,7 @@ class QuoteServer:
         """Start the batcher and the HTTP listener; returns ``(host, port)``."""
         self._reload_lock = asyncio.Lock()
         self._started_at = time.monotonic()
+        self.draining = False
         self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, host, port, limit=_HEADER_LIMIT
@@ -198,38 +323,110 @@ class QuoteServer:
 
     async def stop(self) -> None:
         """Stop accepting, drain the batcher, shut the listener down."""
+        self.draining = True
         if self._server is not None:
             self._server.close()
+            # Unblock idle keep-alive readers: without this, 3.12+'s
+            # wait_closed (which waits for connection handlers) would hang
+            # on any client that never sends another byte.
+            for writer in list(self._connections):
+                try:
+                    writer.close()
+                except OSError:  # pragma: no cover - transport already dead
+                    pass
             await self._server.wait_closed()
             self._server = None
         await self.batcher.stop()
 
-    async def serve_forever(self, host: str, port: int, *, banner=None) -> None:
-        """Run until cancelled or SIGINT/SIGTERM (the CLI entry point)."""
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful drain: refuse new work, finish in-flight, then stop.
+
+        Closes the listener immediately (new connections are refused at
+        the socket; new requests on existing keep-alive connections get
+        503 ``ServerDraining``), waits up to *timeout* seconds for the
+        admission queue to empty and the in-flight batch to resolve, then
+        stops.  Returns True when everything drained inside the budget,
+        False when the timeout expired with work still queued (that work
+        is failed by the batcher teardown).
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            # Listener sockets close synchronously; wait_closed is
+            # deferred to stop() so draining never blocks on open
+            # keep-alive connections.
+        loop = asyncio.get_running_loop()
+        deadline_at = loop.time() + float(timeout)
+        clean = True
+        while (
+            self._open_quotes > 0
+            or self.admission.waiting > 0
+            or self.batcher.in_flight
+        ):
+            if loop.time() >= deadline_at:
+                clean = False
+                break
+            await asyncio.sleep(0.005)
+        await self.stop()
+        return clean
+
+    async def serve_forever(
+        self, host: str, port: int, *, banner=None, drain_timeout: float = 10.0
+    ) -> int:
+        """Run until SIGINT (fast stop) or SIGTERM (graceful drain).
+
+        The CLI entry point.  SIGINT stops immediately (in-flight requests
+        are failed with ``ServingError``).  The first SIGTERM starts a
+        graceful drain — stop accepting, finish in-flight work, exit —
+        bounded by *drain_timeout* seconds; a second SIGTERM aborts the
+        drain immediately.  Returns the process exit code: 0 for a normal
+        stop or completed drain, 143 (128+SIGTERM) for an aborted drain.
+        """
         import signal
 
         bound_host, bound_port = await self.start(host, port)
         if banner is not None:
             banner(bound_host, bound_port)
-        stop = asyncio.get_running_loop().create_future()
-
-        def _request_stop(*_args) -> None:
-            if not stop.done():
-                stop.set_result(None)
-
         loop = asyncio.get_running_loop()
+        stop = loop.create_future()
+        abort = loop.create_future()
+
+        def _request_stop(kind: str) -> None:
+            if stop.done():
+                # Second signal: escalate a drain in progress to an abort.
+                if kind == "drain" and not abort.done():
+                    abort.set_result(None)
+                return
+            stop.set_result(kind)
+
         installed = []
-        for sig in (signal.SIGINT, signal.SIGTERM):
+        for sig, kind in ((signal.SIGINT, "stop"), (signal.SIGTERM, "drain")):
             try:
-                loop.add_signal_handler(sig, _request_stop)
+                loop.add_signal_handler(sig, _request_stop, kind)
                 installed.append(sig)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
         try:
-            await stop
+            kind = await stop
+            if kind != "drain":
+                return 0
+            drain_task = asyncio.ensure_future(self.drain(drain_timeout))
+            await asyncio.wait(
+                {drain_task, abort}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not drain_task.done():
+                drain_task.cancel()
+                try:
+                    await drain_task
+                except asyncio.CancelledError:
+                    pass
+                return 143
+            return 0
         finally:
             for sig in installed:
                 loop.remove_signal_handler(sig)
+            if not abort.done():
+                abort.cancel()
             await self.stop()
 
     # ----------------------------------------------------------------- quote
@@ -260,6 +457,7 @@ class QuoteServer:
         )
         self.admission.submit(ticket)
         self.requests += 1
+        self._open_quotes += 1
         try:
             # shield(): a handler-side timeout must not cancel a future the
             # batcher may be about to resolve for someone else's batch —
@@ -271,6 +469,8 @@ class QuoteServer:
             raise QuoteDeadlineError(
                 f"quote not answered within its {deadline:.3f}s deadline"
             ) from None
+        finally:
+            self._open_quotes -= 1
 
     # ---------------------------------------------------------------- reload
     async def reload(self, source) -> tuple[str | None, str]:
@@ -287,43 +487,66 @@ class QuoteServer:
         lock = self._reload_lock
         if lock is None:
             self._reload_lock = lock = asyncio.Lock()
+        if lock.locked():
+            # A concurrent reload is not queued behind the in-flight one —
+            # applying both in *some* order would leave whichever landed
+            # last serving, invisibly.  Conflict is surfaced (HTTP 409
+            # with the in-flight target) for the caller to retry.
+            raise ReloadConflictError(self._reload_target)
         async with lock:
+            if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+                target = os.fspath(source)
+                self._reload_target = (
+                    target.decode("utf-8", "replace")
+                    if isinstance(target, bytes)
+                    else str(target)
+                )
+            else:
+                self._reload_target = type(source).__name__
             loop = asyncio.get_running_loop()
             try:
-                new_state = await loop.run_in_executor(
-                    None, self._coerce_state, source
-                )
-                if faults.fire("reload") is not None:
-                    raise ReloadError(
-                        "injected reload fault; previous state retained"
+                try:
+                    new_state = await loop.run_in_executor(
+                        None, self._coerce_state, source
                     )
-            except ReloadError as exc:
-                self.reload_failures += 1
-                self.last_reload_error = str(exc)
-                raise
-            except (ReproError, OSError) as exc:
-                self.reload_failures += 1
-                self.last_reload_error = str(exc)
-                raise ReloadError(
-                    f"reload failed; previous state retained: {exc}"
-                ) from exc
-            previous = self._state
-            # Single-reference swap: in-flight batches keep the state they
-            # captured; the batcher re-prepares stale tickets on its next
-            # batch against whatever this reference points at then.
-            self._state = new_state
-            self.reloads += 1
-            self.last_reload_error = None
-            return (
-                None if previous is None else previous.fingerprint,
-                new_state.fingerprint,
-            )
+                    if faults.fire("reload") is not None:
+                        raise ReloadError(
+                            "injected reload fault; previous state retained"
+                        )
+                except ReloadError as exc:
+                    self.reload_failures += 1
+                    self.last_reload_error = str(exc)
+                    raise
+                except (ReproError, OSError) as exc:
+                    self.reload_failures += 1
+                    self.last_reload_error = str(exc)
+                    raise ReloadError(
+                        f"reload failed; previous state retained: {exc}"
+                    ) from exc
+                previous = self._state
+                # Single-reference swap: in-flight batches keep the state
+                # they captured; the batcher re-prepares stale tickets on
+                # its next batch against whatever this reference points at
+                # then.
+                self._state = new_state
+                self.reloads += 1
+                self.last_reload_error = None
+                return (
+                    None if previous is None else previous.fingerprint,
+                    new_state.fingerprint,
+                )
+            finally:
+                self._reload_target = None
 
     # ---------------------------------------------------------------- health
     def health(self) -> dict:
         """The ``/healthz`` payload — live counters, not heuristics."""
         state = self._state
-        if state is None:
+        if self.draining:
+            # Drain beats every other status: an operator (or the fleet
+            # supervisor) must see the terminal state, not "serving".
+            status = "draining"
+        elif state is None:
             status = "unloaded"
         elif self.batcher.last_batch_degraded:
             status = "degraded"
@@ -369,6 +592,7 @@ class QuoteServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -422,6 +646,7 @@ class QuoteServer:
         except (ConnectionResetError, BrokenPipeError):
             pass  # pragma: no cover - peer vanished mid-exchange
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -430,51 +655,7 @@ class QuoteServer:
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """One parsed request: ``(method, path, headers, body)`` or None at EOF."""
-        delay = faults.fire("slow_client")
-        if delay is not None:
-            # Stand-in for a client dribbling bytes: stall the read so the
-            # caller's wait_for trips its read timeout.
-            await asyncio.sleep(float(delay))
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None
-            raise _MalformedRequest("connection closed mid-request") from None
-        except asyncio.LimitOverrunError:
-            raise _MalformedRequest("header block too large") from None
-        try:
-            lines = head.decode("latin-1").split("\r\n")
-            method, target, _version = lines[0].split(" ", 2)
-        except (UnicodeDecodeError, ValueError):
-            raise _MalformedRequest("unparseable request line") from None
-        headers: dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        body = b""
-        length_header = headers.get("content-length", "0")
-        try:
-            length = int(length_header)
-        except ValueError:
-            raise _MalformedRequest(
-                f"bad Content-Length: {length_header!r}"
-            ) from None
-        if length < 0:
-            raise _MalformedRequest(f"bad Content-Length: {length_header!r}")
-        if length > self.max_body_bytes:
-            raise _BodyTooLarge(
-                f"request body of {length} bytes exceeds the "
-                f"{self.max_body_bytes}-byte limit"
-            )
-        if length:
-            try:
-                body = await reader.readexactly(length)
-            except asyncio.IncompleteReadError:
-                raise _MalformedRequest("connection closed mid-body") from None
-        return method.upper(), target.split("?", 1)[0], headers, body
+        return await read_http_request(reader, max_body_bytes=self.max_body_bytes)
 
     async def _dispatch(self, request, writer: asyncio.StreamWriter) -> bool:
         method, path, headers, body = request
@@ -483,14 +664,31 @@ class QuoteServer:
             await self._respond(writer, 200, self.health(), keep_alive=keep_alive)
             return keep_alive
         if path == "/readyz" and method == "GET":
-            ready = self.ready
+            ready = self.ready and not self.draining
             await self._respond(
                 writer,
                 200 if ready else 503,
-                {"ready": ready, "fingerprint": self.fingerprint},
+                {
+                    "ready": ready,
+                    "draining": self.draining,
+                    "fingerprint": self.fingerprint,
+                },
                 keep_alive=keep_alive,
             )
             return keep_alive
+        if path in ("/quote", "/reload") and self.draining:
+            # New work is refused once drain begins; only in-flight
+            # requests (already admitted) complete.
+            await self._respond(
+                writer,
+                503,
+                {
+                    "error": "ServerDraining",
+                    "message": "server is draining; not accepting new work",
+                },
+                keep_alive=False,
+            )
+            return False
         if path == "/quote":
             if method != "POST":
                 await self._respond(
@@ -582,11 +780,11 @@ class QuoteServer:
             )
             return
         except ReproError as exc:
+            payload = {"error": type(exc).__name__, "message": str(exc)}
+            if isinstance(exc, ReloadConflictError):
+                payload["in_flight_path"] = exc.in_flight_path
             await self._respond(
-                writer,
-                _status_of(exc),
-                {"error": type(exc).__name__, "message": str(exc)},
-                keep_alive=keep_alive,
+                writer, _status_of(exc), payload, keep_alive=keep_alive
             )
             return
         await self._respond(
@@ -596,6 +794,25 @@ class QuoteServer:
             keep_alive=keep_alive,
             fingerprint=current,
         )
+
+    def retry_after_seconds(self) -> int:
+        """The 429 ``Retry-After`` estimate, from live queue state.
+
+        ``batches ahead × observed seconds per batch``, where the batch
+        time is the batcher's EWMA of real wall clocks — a saturated
+        server with slow batches tells clients to stay away longer than
+        one clearing its queue in microseconds.  Falls back to 1 second
+        before any batch has been observed; always an integer in
+        ``[1, MAX_RETRY_AFTER]``.
+        """
+        per_batch = self.batcher.observed_batch_seconds
+        if per_batch is None or per_batch <= 0:
+            return 1
+        batches_ahead = math.ceil(
+            max(1, self.admission.waiting) / self.batcher.max_batch
+        )
+        estimate = math.ceil(batches_ahead * per_batch)
+        return max(1, min(MAX_RETRY_AFTER, estimate))
 
     async def _respond(
         self,
@@ -608,21 +825,14 @@ class QuoteServer:
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         stamp = fingerprint if fingerprint is not None else self.fingerprint
-        head = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
+        extra = []
         if stamp is not None:
-            head.append(f"X-Solution-Fingerprint: {stamp}")
+            extra.append(f"X-Solution-Fingerprint: {stamp}")
         if status == 429:
-            head.append("Retry-After: 1")
-        try:
-            writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + body)
-            await writer.drain()
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass  # the peer is gone; nothing left to tell it
+            extra.append(f"Retry-After: {self.retry_after_seconds()}")
+        await write_http_response(
+            writer, status, body, keep_alive=keep_alive, extra_headers=extra
+        )
 
     def __repr__(self) -> str:
         fp = self.fingerprint

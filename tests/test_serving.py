@@ -656,3 +656,312 @@ class TestGracefulSigint:
         # Handler restored and flag cleared on exit.
         assert not interrupt_requested()
         assert signal.getsignal(signal.SIGINT) is signal.default_int_handler
+
+
+# ===================================================== computed Retry-After
+class TestRetryAfterComputation:
+    def test_tracks_queue_depth_and_observed_batch_clock(self, mixed_solution):
+        from repro.serving import QuoteTicket
+        from repro.serving.server import MAX_RETRY_AFTER
+
+        async def main():
+            server = QuoteServer(mixed_solution, queue_depth=64, max_batch=8)
+            await server.start("127.0.0.1", 0)
+            try:
+                # Before any batch has run there is no observed clock.
+                assert server.retry_after_seconds() == 1
+                await server.batcher.stop()  # wedge: tickets stay queued
+                server.batcher.observed_batch_seconds = 2.0
+                # An empty queue still means waiting one batch.
+                assert server.retry_after_seconds() == 2
+                loop = asyncio.get_running_loop()
+                for _ in range(20):
+                    server.admission.submit(
+                        QuoteTicket(
+                            prepared=None,
+                            deadline_at=loop.time() + 60.0,
+                            future=loop.create_future(),
+                        )
+                    )
+                # ceil(20 waiting / 8 per batch) = 3 batches x 2.0s each.
+                assert server.retry_after_seconds() == 6
+                server.batcher.observed_batch_seconds = 100.0
+                assert server.retry_after_seconds() == MAX_RETRY_AFTER
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_429_carries_the_computed_header(self, mixed_solution):
+        rows = [[1.0] * mixed_solution.n_items]
+
+        async def main():
+            server = QuoteServer(mixed_solution, queue_depth=1, deadline=0.15)
+            host, port = await server.start("127.0.0.1", 0)
+            await server.batcher.stop()  # wedge pricing so the queue fills
+            server.batcher.observed_batch_seconds = 7.2
+            try:
+                r1, w1 = await asyncio.open_connection(host, port)
+                first = asyncio.create_task(
+                    _http(r1, w1, "POST", "/quote", {"rows": rows})
+                )
+                await asyncio.sleep(0.03)
+                r2, w2 = await asyncio.open_connection(host, port)
+                shed = await _http(r2, w2, "POST", "/quote", {"rows": rows})
+                timed_out = await first
+                w1.close()
+                w2.close()
+                return shed, timed_out
+            finally:
+                await server.stop()
+
+        shed, timed_out = asyncio.run(main())
+        assert shed[0] == 429
+        # One waiting request, one batch ahead: ceil(1/64 batches x 7.2s).
+        assert shed[1]["retry-after"] == "8"
+        assert timed_out[0] == 504
+
+
+# ================================================== reload conflict (409)
+class TestReloadConflict:
+    def test_concurrent_reload_conflicts_with_409(
+        self, mixed_solution, pure_solution, monkeypatch, tmp_path
+    ):
+        import time as time_module
+
+        target = tmp_path / "next.json"
+        pure_solution.save(target)
+        real_coerce = QuoteServer._coerce_state
+
+        def slow_coerce(source):
+            time_module.sleep(0.5)  # runs in the reload executor thread
+            return real_coerce(source)
+
+        monkeypatch.setattr(
+            QuoteServer, "_coerce_state", staticmethod(slow_coerce)
+        )
+
+        async def main():
+            server = QuoteServer(mixed_solution)
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                r1, w1 = await asyncio.open_connection(host, port)
+                r2, w2 = await asyncio.open_connection(host, port)
+                first = asyncio.create_task(
+                    _http(r1, w1, "POST", "/reload", {"path": str(target)})
+                )
+                await asyncio.sleep(0.1)  # the first reload holds the lock
+                conflict = await _http(
+                    r2, w2, "POST", "/reload", {"path": str(target)}
+                )
+                winner = await first
+                w1.close()
+                w2.close()
+                return winner, conflict
+            finally:
+                await server.stop()
+
+        winner, conflict = asyncio.run(main())
+        assert winner[0] == 200
+        assert winner[2]["fingerprint"] == pure_solution.fingerprint()
+        assert conflict[0] == 409
+        assert conflict[2]["error"] == "ReloadConflictError"
+        assert conflict[2]["in_flight_path"] == str(target)
+
+
+# ======================================================== draining status
+class TestDrainingStatus:
+    def test_draining_visible_while_in_flight_completes(
+        self, mixed_solution, requests_by_size
+    ):
+        """During a drain: health says draining, readyz flips, /quote is
+        refused — while the in-flight quote still completes bit-identically
+        on its pre-drain connection."""
+        rows = requests_by_size[2]
+
+        async def main():
+            # A wide batch window holds the admitted quote in flight while
+            # the probes run; the checks gate on server state, not sleeps,
+            # so CPU contention cannot race the drain past them.
+            server = QuoteServer(
+                mixed_solution, batch_window=2.0, deadline=10.0
+            )
+            host, port = await server.start("127.0.0.1", 0)
+            # Both connections open before the drain closes the listener.
+            pr, pw = await asyncio.open_connection(host, port)
+            qr, qw = await asyncio.open_connection(host, port)
+            in_flight = asyncio.create_task(
+                _http(qr, qw, "POST", "/quote",
+                      {"rows": rows.tolist(), "deadline": 10.0})
+            )
+            for _ in range(500):
+                if server.admission.waiting or server.batcher.in_flight:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.admission.waiting or server.batcher.in_flight
+            drain = asyncio.create_task(server.drain(30.0))
+            await asyncio.sleep(0)  # drain's sync prefix has run: draining set
+            assert server.draining
+            health = await _http(pr, pw, "GET", "/healthz")
+            ready = await _http(pr, pw, "GET", "/readyz")
+            refused = await _http(pr, pw, "POST", "/quote",
+                                  {"rows": rows.tolist()})
+            completed = await in_flight
+            clean = await drain
+            pw.close()
+            qw.close()
+            return health, ready, refused, completed, clean
+
+        health, ready, refused, completed, clean = asyncio.run(main())
+        assert health[0] == 200
+        assert health[2]["status"] == "draining"
+        assert ready[0] == 503
+        assert ready[2]["draining"] is True
+        assert refused[0] == 503
+        assert refused[2]["error"] == "ServerDraining"
+        assert completed[0] == 200
+        served = np.array(
+            [float.fromhex(p) for p in completed[2]["payments_hex"]]
+        )
+        cold = mixed_solution.quote(rows)
+        assert np.array_equal(
+            served, np.asarray(cold.payments, dtype=np.float64)
+        )
+        assert clean is True
+
+
+# ==================================================== SIGTERM drain (CLI)
+def _start_serve_subprocess(tmp_path, solution, extra_args=()):
+    """``python -m repro serve`` on an ephemeral port; returns (proc, port)."""
+    path = tmp_path / "menu.json"
+    if not path.exists():
+        solution.save(path)
+    env = {**os.environ, "PYTHONPATH": SRC}
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--solution", str(path), "--host", "127.0.0.1", "--port", "0",
+         *extra_args],
+        cwd=tmp_path, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+    port = None
+    try:
+        for _ in range(40):
+            line = proc.stdout.readline()
+            if "http://" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port is not None, "serve banner never printed a port"
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+    return proc, port
+
+
+class TestGracefulSigterm:
+    def test_sigterm_drains_in_flight_then_exits_zero(
+        self, mixed_solution, requests_by_size, tmp_path
+    ):
+        import http.client
+        import threading
+
+        rows = requests_by_size[1]
+        proc, port = _start_serve_subprocess(
+            tmp_path, mixed_solution,
+            ("--batch-window", "0.5", "--deadline", "5.0"),
+        )
+        result = {}
+
+        def quote():
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/quote",
+                    json.dumps({"rows": rows.tolist(), "deadline": 5.0}),
+                    {"Content-Type": "application/json"},
+                )
+                reply = conn.getresponse()
+                result["status"] = reply.status
+                result["body"] = json.loads(reply.read())
+            except OSError as exc:  # pragma: no cover - failure diagnostics
+                result["error"] = exc
+            finally:
+                conn.close()
+
+        try:
+            worker = threading.Thread(target=quote)
+            worker.start()
+            import time as time_module
+
+            time_module.sleep(0.2)  # request admitted, window still open
+            proc.send_signal(signal.SIGTERM)
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            returncode = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        assert result.get("error") is None, result
+        # The in-flight quote completed, bit-identically, during the drain.
+        assert result["status"] == 200
+        cold = mixed_solution.quote(rows)
+        served = np.array(
+            [float.fromhex(p) for p in result["body"]["payments_hex"]]
+        )
+        assert np.array_equal(
+            served, np.asarray(cold.payments, dtype=np.float64)
+        )
+        # ...and once drained the listener is gone and the exit is clean.
+        assert returncode == 0
+        with pytest.raises(OSError):
+            import socket
+
+            socket.create_connection(("127.0.0.1", port), timeout=2).close()
+
+    def test_second_sigterm_aborts_with_143(
+        self, mixed_solution, requests_by_size, tmp_path
+    ):
+        import http.client
+        import threading
+        import time as time_module
+
+        rows = requests_by_size[0]
+        proc, port = _start_serve_subprocess(
+            tmp_path, mixed_solution,
+            ("--batch-window", "5.0", "--deadline", "30.0"),
+        )
+
+        def quote():
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/quote",
+                    json.dumps({"rows": rows.tolist(), "deadline": 30.0}),
+                    {"Content-Type": "application/json"},
+                )
+                conn.getresponse()
+            except (OSError, http.client.HTTPException):
+                pass  # the abort tears this connection down; expected
+            finally:
+                conn.close()
+
+        try:
+            # A 5s batch window keeps the drain busy long enough for the
+            # second signal to land while it is still waiting.
+            worker = threading.Thread(target=quote)
+            worker.start()
+            time_module.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            time_module.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=30)
+            worker.join(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        assert returncode == 143
