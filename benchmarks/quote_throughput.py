@@ -50,10 +50,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.api import BundlingSolver, EngineConfig
 from repro.core.kernels import available_cpus
 from repro.data.synthetic import amazon_books_like
 from repro.data.wtp_mapping import wtp_from_ratings
+from repro.obs.metrics import parse_exposition
 from repro.serving import QuoteServer
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
@@ -194,6 +196,104 @@ async def _run_serving(args, primary, replacement, n_items, report) -> bool:
         await server.stop()
 
 
+async def _metrics_overhead(args, primary, n_items, report) -> bool:
+    """Registry-on vs registry-off quotes/sec through the warm server path.
+
+    Best-of-N repeats on each side denoise a contended box; the recorded
+    ``overhead_pct`` is the acceptance number for the zero-overhead-when-
+    disabled contract (instrumentation must cost < 2% when enabled, and
+    literally one None-check when not).
+    """
+    rng = np.random.default_rng(23)
+    blocks = _requests(rng, args.overhead_requests, n_items)
+
+    async def measure() -> float:
+        server = QuoteServer(
+            primary,
+            deadline=30.0,
+            queue_depth=max(len(blocks), 64),
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+        )
+        await server.start("127.0.0.1", 0)
+        try:
+            best = None
+            for repeat in range(args.overhead_repeats + 1):
+                started = time.perf_counter()
+                for index in range(0, len(blocks), 16):
+                    await asyncio.gather(
+                        *[server.quote(rows) for rows in blocks[index : index + 16]]
+                    )
+                wall = time.perf_counter() - started
+                if repeat == 0:
+                    continue  # warm-up pass
+                best = wall if best is None or wall < best else best
+            return len(blocks) / best
+        finally:
+            await server.stop()
+
+    obs.disable_metrics()
+    disabled_qps = await measure()
+    registry = obs.enable_metrics()
+    try:
+        enabled_qps = await measure()
+        exposition_ok = bool(parse_exposition(registry.render()))
+    finally:
+        obs.disable_metrics()
+    overhead_pct = 100.0 * (disabled_qps - enabled_qps) / disabled_qps
+    passed = overhead_pct < 2.0 and exposition_ok
+    report["metrics_overhead"] = {
+        "requests_per_side": len(blocks),
+        "repeats": args.overhead_repeats,
+        "disabled_qps": round(disabled_qps, 1),
+        "enabled_qps": round(enabled_qps, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "exposition_parses": exposition_ok,
+        "passed": passed,
+        "gate": "metrics-on quotes/sec within 2% of metrics-off",
+    }
+    return passed
+
+
+def _monotonic_counters(before: dict, after: dict) -> list[str]:
+    """Counter series that moved backwards between two scrapes.
+
+    Series carrying a ``worker`` label are excluded: those come from
+    per-process registries that legitimately reset when a worker is
+    respawned.  Supervisor-owned series (including slot-labelled ones)
+    must never regress.
+    """
+    regressions = []
+    for name, family in before.items():
+        if family["type"] != "counter":
+            continue
+        for key, value in family["samples"].items():
+            if 'worker="' in key:
+                continue
+            if after.get(name, {}).get("samples", {}).get(key, 0.0) < value:
+                regressions.append(key)
+    return regressions
+
+
+async def _fleet_scrape(host, port):
+    """GET /metrics returning the raw exposition text."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                "GET /metrics HTTP/1.1\r\nHost: bench\r\n"
+                "Content-Length: 0\r\nConnection: close\r\n\r\n"
+            ).encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, content = raw.partition(b"\r\n\r\n")
+    status = int(head.decode("latin-1").split("\r\n")[0].split(" ", 2)[1])
+    return status, content.decode("utf-8")
+
+
 async def _fleet_http(host, port, method, path, payload=None):
     """One HTTP exchange against the fleet (fresh connection each time)."""
     reader, writer = await asyncio.open_connection(host, port)
@@ -235,6 +335,10 @@ async def _run_fleet(args, primary, n_items, report) -> bool:
 
     rng = np.random.default_rng(11)
     fingerprint = primary.fingerprint()
+    if args.metrics:
+        # Enabled before the fleet boots: workers read the parent's
+        # enablement at spawn time and ship snapshots up their heartbeats.
+        obs.enable_metrics()
     with tempfile.TemporaryDirectory() as scratch:
         path = Path(scratch) / "primary.json"
         primary.save(path)
@@ -267,6 +371,12 @@ async def _run_fleet(args, primary, n_items, report) -> bool:
                 )
                 for (status, headers, body), rows in zip(served, requests)
             )
+
+            # -------------------------------------------- pre-chaos scrape
+            first_scrape = None
+            if args.metrics:
+                scrape_status, text = await _fleet_scrape(host, port)
+                first_scrape = parse_exposition(text) if scrape_status == 200 else None
 
             # ------------------------------------------------- chaos (kill)
             chaos = {"ran": False}
@@ -318,8 +428,67 @@ async def _run_fleet(args, primary, n_items, report) -> bool:
                     "failures, every quote still bit-identical",
                 }
 
+            # ------------------------------------------------ metrics smoke
+            if args.metrics:
+                smoke = {"ran": True, "gate": (
+                    "exposition parses, non-worker counters monotonic "
+                    "across scrapes, respawn counted after the kill"
+                )}
+                try:
+                    scrape_status, text = await _fleet_scrape(host, port)
+                    second_scrape = parse_exposition(text)
+                    smoke["exposition_parses"] = scrape_status == 200
+                    regressions = (
+                        _monotonic_counters(first_scrape, second_scrape)
+                        if first_scrape is not None
+                        else ["first scrape failed"]
+                    )
+                    smoke["counter_regressions"] = regressions
+                    smoke["counters_monotonic"] = not regressions
+                    respawn_total = sum(
+                        second_scrape.get("repro_worker_respawn_total", {})
+                        .get("samples", {})
+                        .values()
+                    )
+                    smoke["worker_respawn_total"] = respawn_total
+                    worker_quotes = sum(
+                        value
+                        for key, value in second_scrape.get(
+                            "repro_quotes_total", {}
+                        ).get("samples", {}).items()
+                        if 'worker="' in key
+                    )
+                    smoke["derived"] = {
+                        "fleet_requests_total": sum(
+                            second_scrape.get("repro_fleet_requests_total", {})
+                            .get("samples", {})
+                            .values()
+                        ),
+                        "worker_quotes_total": worker_quotes,
+                        "worker_deaths_total": sum(
+                            second_scrape.get("repro_worker_deaths_total", {})
+                            .get("samples", {})
+                            .values()
+                        ),
+                        "respawn_total": respawn_total,
+                    }
+                    smoke["passed"] = (
+                        smoke["exposition_parses"]
+                        and smoke["counters_monotonic"]
+                        and (not chaos["ran"] or respawn_total >= 1)
+                    )
+                except ValueError as exc:
+                    smoke.update(
+                        exposition_parses=False,
+                        parse_error=str(exc),
+                        passed=False,
+                    )
+                report["metrics_smoke"] = smoke
+
             health = fleet.health()
             passed = failures == 0 and mismatches == 0
+            if report.get("metrics_smoke", {}).get("ran"):
+                passed = passed and report["metrics_smoke"]["passed"]
             if chaos["ran"]:
                 passed = (
                     passed
@@ -377,9 +546,23 @@ def build_report(args) -> tuple[dict, int]:
         print("FAIL: served quotes differ from solution.quote()", file=sys.stderr)
     elif not passed:
         print("FAIL: serving gate not met (see summary)", file=sys.stderr)
+    if args.metrics:
+        overhead_passed = asyncio.run(
+            _metrics_overhead(args, primary, n_items, report)
+        )
+        print(json.dumps(report["metrics_overhead"], indent=1))
+        if not overhead_passed:
+            # Recorded, not gating: a contended CI box can blur a sub-2%
+            # delta, and the artifact makes any real regression visible.
+            print(
+                "note: metrics overhead above the 2% target on this box",
+                file=sys.stderr,
+            )
     if args.workers >= 2:
         fleet_passed = asyncio.run(_run_fleet(args, primary, n_items, report))
         print(json.dumps(report["fleet"], indent=1, default=str))
+        if "metrics_smoke" in report:
+            print(json.dumps(report["metrics_smoke"], indent=1))
         if not fleet_passed:
             print("FAIL: fleet gate not met (see fleet report)", file=sys.stderr)
         passed = passed and fleet_passed
@@ -417,6 +600,21 @@ def main() -> int:
     parser.add_argument(
         "--chaos-requests", type=int, default=120,
         help="requests fired during the chaos leg",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="run the observability legs: registry-on vs registry-off "
+        "overhead microbench, and (with --workers >= 2) /metrics scrape "
+        "assertions — exposition parses, non-worker counters monotonic, "
+        "worker_respawn_total increments after the chaos kill",
+    )
+    parser.add_argument(
+        "--overhead-requests", type=int, default=200,
+        help="requests per side of the metrics-overhead microbench",
+    )
+    parser.add_argument(
+        "--overhead-repeats", type=int, default=3,
+        help="timed repeats per side (best-of, after one warm-up pass)",
     )
     parser.add_argument(
         "--force", action="store_true",

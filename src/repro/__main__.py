@@ -248,6 +248,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--read-timeout", type=float, default=5.0, metavar="SECONDS",
         help="per-connection budget for reading one request (408 past it)",
     )
+    observability = serve.add_argument_group("observability")
+    observability.add_argument(
+        "--metrics", action="store_true",
+        help="enable the metrics registry and GET /metrics (Prometheus text "
+             "exposition); in fleet mode every worker's series are "
+             "aggregated at the supervisor with a worker label",
+    )
+    observability.add_argument(
+        "--trace-log", metavar="PATH", default=None,
+        help="append JSONL span events (scan/batch timings) to PATH; fleet "
+             "workers write PATH.worker<i>",
+    )
     fleet = serve.add_argument_group("fleet (multi-process) serving")
     fleet.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -465,8 +477,14 @@ def _command_quote(args) -> int:
 def _command_serve(args) -> int:
     import asyncio
 
+    from repro import obs
+
+    if args.metrics:
+        obs.enable_metrics()
     if args.workers >= 2:
         return _serve_fleet(args)
+    if args.trace_log:
+        obs.enable_tracing(sink_path=args.trace_log)
 
     from repro.serving import QuoteServer
 
@@ -489,7 +507,10 @@ def _command_serve(args) -> int:
               f"({len(solution.configuration)} offers over {solution.n_items} "
               f"items) on http://{host}:{port}")
         print(f"solution fingerprint: {server.fingerprint}")
-        print("endpoints: POST /quote, POST /reload, GET /healthz, GET /readyz")
+        endpoints = "POST /quote, POST /reload, GET /healthz, GET /readyz"
+        if args.metrics:
+            endpoints += ", GET /metrics"
+        print(f"endpoints: {endpoints}")
 
     try:
         return asyncio.run(
@@ -528,6 +549,7 @@ def _serve_fleet(args) -> int:
             heartbeat_interval=args.heartbeat_interval,
             breaker_threshold=args.breaker_threshold,
             drain_timeout=args.drain_timeout,
+            trace_log=args.trace_log,
         )
     except ReproError as exc:
         print(f"error: cannot serve {args.solution}: {exc}", file=sys.stderr)
@@ -536,7 +558,10 @@ def _serve_fleet(args) -> int:
     def banner(host, port):
         print(f"serving fleet of {args.workers} workers on http://{host}:{port}")
         print(f"solution fingerprint: {supervisor.fingerprint}")
-        print("endpoints: POST /quote, POST /reload, GET /healthz, GET /readyz")
+        endpoints = "POST /quote, POST /reload, GET /healthz, GET /readyz"
+        if args.metrics:
+            endpoints += ", GET /metrics"
+        print(f"endpoints: {endpoints}")
 
     try:
         return asyncio.run(

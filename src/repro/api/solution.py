@@ -176,6 +176,39 @@ class BundlingSolution:
     def n_iterations(self) -> int:
         return len(self.trace)
 
+    def diagnostics(self) -> dict:
+        """Revenue-composition diagnostics of the fitted menu (computed, not
+        persisted — the JSON layout is unchanged).
+
+        The headline field is the Kupfer-style bundle-vs-separate revenue
+        ratio ("A Note on the Ratio of Revenues Between Selling in a Bundle
+        and Separately", Kupfer 2018, arXiv:1611.09613): expected revenue
+        earned by multi-item bundle offers over expected revenue earned by
+        separately sold single items *of the same menu*.  ``None`` when the
+        menu has no single-item revenue to compare against (e.g. full-bundle
+        configurations); ``bundle_revenue_share`` — bundle revenue over total
+        — is always defined on a revenue-positive menu.  Serving surfaces the
+        ratio as the ``repro_solution_bundle_vs_separate_ratio`` gauge.
+        """
+        offers = self.configuration.offers
+        bundle_revenue = sum(o.revenue for o in offers if o.bundle.size >= 2)
+        separate_revenue = sum(o.revenue for o in offers if o.bundle.size == 1)
+        total = bundle_revenue + separate_revenue
+        sizes = [o.bundle.size for o in offers]
+        return {
+            "bundle_revenue": float(bundle_revenue),
+            "separate_revenue": float(separate_revenue),
+            "bundle_vs_separate_ratio": (
+                float(bundle_revenue / separate_revenue)
+                if separate_revenue > 0 else None
+            ),
+            "bundle_revenue_share": float(bundle_revenue / total) if total > 0 else None,
+            "n_bundle_offers": sum(1 for s in sizes if s >= 2),
+            "n_single_offers": sum(1 for s in sizes if s == 1),
+            "max_bundle_size": max(sizes, default=0),
+            "mean_bundle_size": float(np.mean(sizes)) if sizes else 0.0,
+        }
+
     # ---------------------------------------------------------------- serving
     def quote(self, wtp) -> QuoteResult:
         """Price a batch of (new) consumers against this frozen menu.

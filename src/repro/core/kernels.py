@@ -86,6 +86,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro import obs
 from repro.core import faults
 from repro.core.adoption import AdoptionModel
 from repro.core.pricing import (
@@ -100,6 +101,8 @@ from repro.core.retry import (
     DegradedExecutionWarning,
     RetryPolicy,
     check_retry_policy,
+    record_degradation,
+    record_retry_attempt,
 )
 from repro.errors import ExecutorError, ScanTimeoutError, ValidationError
 
@@ -498,6 +501,7 @@ def _run_process_chunks(
         _terminate_pool(pool)
         last_error = broken
         if attempt < policy.max_attempts:
+            record_retry_attempt()
             time.sleep(policy.delay(attempt))
     raise ExecutorError(
         f"process pool broke {policy.max_attempts} time(s) in a row; "
@@ -516,6 +520,7 @@ def _degrade(
     if not policy.degrade:
         raise error
     _release_scan_frames(error)
+    record_degradation(scan, from_executor, to_executor)
     warnings.warn(
         DegradedExecutionWarning(scan, from_executor, to_executor, error),
         stacklevel=3,
@@ -543,6 +548,22 @@ def _run_chunks_resilient(
 
 
 # -------------------------------------------------------------- pure streaming
+def _record_scan(scan: str, n_chunks: int, elapsed: float) -> None:
+    """Scan-level metrics: one counter bump and one observation per scan.
+
+    Deliberately not per-chunk — the guard helpers cost two dict lookups
+    when metrics are on, which is noise at scan granularity but would be
+    measurable inside the chunk loop of a wide scan.
+    """
+    obs.counter_inc("repro_scan_chunks_total", n_chunks,
+                    help="Chunks scheduled by streamed scans.",
+                    labelnames=("scan",), scan=scan)
+    obs.counter_inc("repro_scans_total", 1.0, help="Streamed scans completed.",
+                    labelnames=("scan",), scan=scan)
+    obs.observe("repro_scan_seconds", elapsed, help="Wall time per streamed scan.",
+                labelnames=("scan",), scan=scan)
+
+
 def stream_pure_prices(
     fill: Callable[[np.ndarray, int, int], None],
     n_columns: int,
@@ -583,6 +604,19 @@ def stream_pure_prices(
     width = chunk_width(n_columns, n_users, chunk_elements)
     chunks = list(iter_chunks(n_columns, width))
     executor, n_workers = _resolve_execution(executor, n_workers, len(chunks))
+    started = time.monotonic()
+    with obs.span("scan.pure_prices", columns=n_columns, users=n_users,
+                  chunks=len(chunks), executor=executor, workers=n_workers):
+        _run_pure_scan(fill, chunks, width, n_users, adoption, grid,
+                       chunk_elements, executor, n_workers, retry,
+                       prices, revenues, buyers)
+    _record_scan("pure", len(chunks), time.monotonic() - started)
+    return prices, revenues, buyers
+
+
+def _run_pure_scan(fill, chunks, width, n_users, adoption, grid, chunk_elements,
+                   executor, n_workers, retry, prices, revenues, buyers) -> None:
+    """The executor ladder of :func:`stream_pure_prices`, writing in place."""
     degraded_from_process = False
     if executor == "process":
         try:
@@ -609,7 +643,7 @@ def stream_pure_prices(
                 prices[start:stop] = p
                 revenues[start:stop] = r
                 buyers[start:stop] = b
-            return prices, revenues, buyers
+            return
 
     def make_buffers() -> tuple:
         return (np.empty((n_users, width), dtype=np.float64),)
@@ -632,7 +666,6 @@ def stream_pure_prices(
             # The picklable shared-memory fill was meant for workers; the
             # fallback ran it in-parent, so release its attachments here.
             _close_fill(fill)
-    return prices, revenues, buyers
 
 
 # ------------------------------------------------------------- mixed streaming
@@ -692,6 +725,20 @@ def stream_mixed_merges(
     width = chunk_width(n_pairs, n_users, chunk_elements, MIXED_FILL_BUFFERS)
     chunks = list(iter_chunks(n_pairs, width))
     executor, n_workers = _resolve_execution(executor, n_workers, len(chunks))
+    started = time.monotonic()
+    with obs.span("scan.mixed_merges", pairs=n_pairs, users=n_users,
+                  chunks=len(chunks), executor=executor, workers=n_workers):
+        _run_mixed_scan(fill_pair, chunks, width, n_users, adoption, grid,
+                        chunk_elements, kernel, executor, n_workers, retry,
+                        prices, gains, upgraded, feasible)
+    _record_scan("mixed", len(chunks), time.monotonic() - started)
+    return prices, gains, upgraded, feasible
+
+
+def _run_mixed_scan(fill_pair, chunks, width, n_users, adoption, grid,
+                    chunk_elements, kernel, executor, n_workers, retry,
+                    prices, gains, upgraded, feasible) -> None:
+    """The executor ladder of :func:`stream_mixed_merges`, writing in place."""
     degraded_from_process = False
     if executor == "process":
         try:
@@ -720,7 +767,7 @@ def stream_mixed_merges(
                 gains[start:stop] = g
                 upgraded[start:stop] = u
                 feasible[start:stop] = f
-            return prices, gains, upgraded, feasible
+            return
 
     def make_buffers() -> tuple:
         return _mixed_scan_buffers(n_users, width)
@@ -741,7 +788,6 @@ def stream_mixed_merges(
     finally:
         if degraded_from_process:
             _close_fill(fill_pair)
-    return prices, gains, upgraded, feasible
 
 
 # ------------------------------------------------------------------ LRU cache
@@ -780,9 +826,13 @@ class LRUArrayCache:
             value = self._store.get(key)
             if value is None:
                 self.misses += 1
+                obs.counter_inc("repro_raw_cache_misses_total",
+                                help="Raw-WTP cache misses.")
                 return None
             self._store.move_to_end(key)
             self.hits += 1
+            obs.counter_inc("repro_raw_cache_hits_total",
+                            help="Raw-WTP cache hits.")
             return value
 
     def put(self, key, value) -> None:
@@ -795,6 +845,8 @@ class LRUArrayCache:
             if len(self._store) >= self.max_entries:
                 self._store.popitem(last=False)
                 self.evictions += 1
+                obs.counter_inc("repro_raw_cache_evictions_total",
+                                help="Raw-WTP cache evictions.")
             self._store[key] = value
 
     def pop(self, key, default=None):

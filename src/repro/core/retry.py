@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import ValidationError
 
 #: Maximum attempts a policy may ask for (a runaway-retry backstop).
@@ -139,6 +140,24 @@ def check_retry_policy(retry) -> RetryPolicy:
         return RetryPolicy.from_dict(retry)
     raise ValidationError(
         f"retry must be a RetryPolicy, dict, or None, got {type(retry).__name__}"
+    )
+
+
+def record_retry_attempt() -> None:
+    """Count one pool rebuild (an attempt after the first) for /metrics."""
+    obs.counter_inc(
+        "repro_scan_retry_attempts_total",
+        help="Process-pool rebuilds after a broken pool (retries, not firsts).",
+    )
+
+
+def record_degradation(scan: str, from_executor: str, to_executor: str) -> None:
+    """Count one rung of the executor ladder for /metrics."""
+    obs.counter_inc(
+        "repro_scan_degradations_total",
+        help="Executor-ladder degradations by scan and rung.",
+        labelnames=("scan", "from_executor", "to_executor"),
+        scan=scan, from_executor=from_executor, to_executor=to_executor,
     )
 
 

@@ -68,6 +68,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core import faults
 from repro.errors import SharedMemoryError, ValidationError
 
@@ -143,6 +144,12 @@ def reap_shared_blocks() -> list[str]:
             reaped.append(name)
             with _ACTIVE_LOCK:
                 _ACTIVE_BLOCKS.discard(name)
+    if reaped:
+        obs.counter_inc(
+            "repro_shm_reaped_total",
+            len(reaped),
+            help="Shared blocks unlinked by the process reaper.",
+        )
     return reaped
 
 
@@ -283,6 +290,10 @@ class SharedArrayView:
                 self._array = np.ndarray(
                     self.shape, dtype=self.dtype, buffer=self._shm.buf
                 )
+                obs.counter_inc(
+                    "repro_shm_attaches_total",
+                    help="Attachments to shared blocks by name.",
+                )
             return self._array
 
     def close(self) -> None:
@@ -352,6 +363,20 @@ class SharedWTPStore:
         _install_reaper()
         with _ACTIVE_LOCK:
             _ACTIVE_BLOCKS.add(shm.name)
+            active = len(_ACTIVE_BLOCKS)
+        obs.counter_inc(
+            "repro_shm_blocks_total", help="Shared-memory blocks allocated."
+        )
+        obs.counter_inc(
+            "repro_shm_bytes_total",
+            max(1, nbytes),
+            help="Bytes allocated in shared-memory blocks.",
+        )
+        obs.gauge_set(
+            "repro_shm_active_blocks",
+            active,
+            help="Shared blocks on this process's ledger.",
+        )
         self._blocks[key] = (shm, SharedArrayView(shm.name, shape, dtype))
         return np.ndarray(shape, dtype=dtype, buffer=shm.buf)
 
@@ -414,6 +439,13 @@ class SharedWTPStore:
                 with _ACTIVE_LOCK:
                     _ACTIVE_BLOCKS.discard(shm.name)
         self._blocks.clear()
+        with _ACTIVE_LOCK:
+            active = len(_ACTIVE_BLOCKS)
+        obs.gauge_set(
+            "repro_shm_active_blocks",
+            active,
+            help="Shared blocks on this process's ledger.",
+        )
         if first_error is not None:
             if isinstance(first_error, OSError) and not isinstance(
                 first_error, SharedMemoryError

@@ -1,0 +1,124 @@
+"""Observability: opt-in metrics registry and tracing for the repro stack.
+
+Everything here is off by default so library users pay nothing: the guard
+helpers (:func:`counter_inc`, :func:`gauge_set`, :func:`observe`) return
+after a single ``None`` check when no registry is enabled, and
+:func:`repro.obs.tracing.span` returns a shared no-op context manager when
+no tracer is installed.  ``python -m repro serve --metrics`` (or
+:func:`enable_metrics` in code) turns the registry on; ``--trace-log PATH``
+adds a JSONL span sink.
+
+Instrumented call sites name their series up front (``repro_*`` prefix) and
+go through the helpers rather than holding metric objects, so the whole
+subsystem can be toggled at runtime without plumbing registries through
+constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    render_snapshots,
+)
+from .tracing import Tracer, disable_tracing, enable_tracing, span, tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_registry",
+    "metrics_enabled",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracer",
+    "render_snapshots",
+    "parse_exposition",
+]
+
+_REGISTRY: MetricsRegistry | None = None
+
+#: Prometheus content type for ``GET /metrics`` responses.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the process registry."""
+    global _REGISTRY
+    _REGISTRY = registry if registry is not None else MetricsRegistry()
+    return _REGISTRY
+
+
+def disable_metrics() -> None:
+    """Drop the process registry; guard helpers become no-ops again."""
+    global _REGISTRY
+    _REGISTRY = None
+
+
+def metrics_registry() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when metrics are disabled."""
+    return _REGISTRY
+
+
+def metrics_enabled() -> bool:
+    return _REGISTRY is not None
+
+
+# ---------------------------------------------------------------------------
+# Guard helpers: one None-check on the disabled path, two dict lookups when
+# enabled.  Hot loops (per-chunk, per-request) call these directly.
+
+def counter_inc(name: str, amount: float = 1.0, help: str = "",
+                labelnames: Sequence[str] = (), **labels: str) -> None:
+    registry = _REGISTRY
+    if registry is None:
+        return
+    family = registry.counter(name, help, labelnames or tuple(sorted(labels)))
+    if labels:
+        family.labels(**labels).inc(amount)
+    else:
+        family.inc(amount)
+
+
+def gauge_set(name: str, value: float, help: str = "",
+              labelnames: Sequence[str] = (), **labels: str) -> None:
+    registry = _REGISTRY
+    if registry is None:
+        return
+    family = registry.gauge(name, help, labelnames or tuple(sorted(labels)))
+    if labels:
+        family.labels(**labels).set(value)
+    else:
+        family.set(value)
+
+
+def observe(name: str, value: float, help: str = "",
+            buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+            labelnames: Sequence[str] = (), **labels: str) -> None:
+    registry = _REGISTRY
+    if registry is None:
+        return
+    family = registry.histogram(name, help, labelnames or tuple(sorted(labels)),
+                                buckets=buckets)
+    if labels:
+        family.labels(**labels).observe(value)
+    else:
+        family.observe(value)

@@ -1,0 +1,467 @@
+"""Dependency-free metrics core: counters, gauges, histograms, exposition.
+
+The registry is process-local and deliberately tiny: no client library, no
+background threads, no global state beyond the opt-in default registry held
+by :mod:`repro.obs`.  Everything renders to the Prometheus text exposition
+format (version 0.0.4) so any scraper can consume ``GET /metrics`` without
+this repo growing a dependency.
+
+Two properties drive the design:
+
+* **Zero overhead when disabled.**  Library code never talks to a
+  ``MetricsRegistry`` directly; it goes through the guard helpers in
+  :mod:`repro.obs` which return after a single ``None`` check when metrics
+  are off.
+* **Snapshot/merge for fleet aggregation.**  A registry can serialise
+  itself to a JSON-safe :meth:`MetricsRegistry.snapshot`, small enough to
+  ride the worker heartbeat pipe, and the supervisor renders many worker
+  snapshots into one exposition with a ``worker`` label injected per slot
+  (:func:`render_snapshots`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "render_snapshots",
+    "parse_exposition",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Latency buckets in seconds, spanning sub-millisecond kernel chunks up to
+#: multi-second degraded scans.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Power-of-two size buckets for batch sizes and chunk counts.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_pairs(labelnames: Sequence[str], labelvalues: Sequence[str],
+                 extra: Mapping[str, str] | None = None) -> str:
+    pairs = [f'{n}="{_escape_label_value(v)}"' for n, v in zip(labelnames, labelvalues)]
+    if extra:
+        pairs.extend(f'{n}="{_escape_label_value(v)}"' for n, v in sorted(extra.items()))
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+class Counter:
+    """Monotonically increasing value.  ``inc`` with a negative amount raises."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; cannot inc by {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can move both ways, or track a live callable."""
+
+    __slots__ = ("_fn", "_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._fn = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` at scrape time instead of storing a value."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return math.nan
+        return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative buckets, sum, and count."""
+
+    __slots__ = ("_counts", "_lock", "_sum", "boundaries")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket boundaries must be strictly increasing: {bounds}")
+        self.boundaries = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.boundaries)
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per boundary plus the +Inf bucket."""
+        with self._lock:
+            counts = list(self._counts)
+        total = 0
+        out = []
+        for c in counts:
+            total += c
+            out.append(total)
+        return out
+
+
+_KIND_FACTORY = {
+    "counter": lambda buckets: Counter(),
+    "gauge": lambda buckets: Gauge(),
+    "histogram": lambda buckets: Histogram(buckets),
+}
+
+
+class _Family:
+    """One named metric family: shared type/help/labelnames, many children."""
+
+    __slots__ = ("_buckets", "_children", "_lock", "help", "kind", "labelnames", "name")
+
+    def __init__(self, name: str, kind: str, help: str,
+                 labelnames: Sequence[str], buckets: Sequence[float] | None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labelvalues: str):
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, got "
+                f"{tuple(sorted(labelvalues))}")
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = _KIND_FACTORY[self.kind](self._buckets)
+                    self._children[key] = child
+        return child
+
+    # Label-less convenience: family behaves like its single child.
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} has labels {self.labelnames}; "
+                             "use .labels(...)")
+        child = self._children.get(())
+        if child is not None:
+            return child
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._solo().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def items(self) -> list[tuple[tuple[str, ...], Counter | Gauge | Histogram]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Process-local collection of metric families.
+
+    Re-registering an existing name with the same signature returns the
+    existing family; a conflicting signature raises so two call sites cannot
+    silently shadow each other.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, kind: str, help: str,
+                  labelnames: Sequence[str],
+                  buckets: Sequence[float] | None = None) -> _Family:
+        labelnames = tuple(labelnames)
+        family = self._families.get(name)
+        if family is None:
+            # Name/label validation only runs on first registration — the
+            # guard helpers hit this path once per series, not per event,
+            # which keeps the enabled overhead within the <2% budget.
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            for label in labelnames:
+                if not _LABEL_RE.match(label) or label.startswith("__"):
+                    raise ValueError(
+                        f"invalid label name {label!r} for metric {name!r}")
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = _Family(name, kind, help, labelnames, buckets)
+                    self._families[name] = family
+        if family.kind != kind or family.labelnames != labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} with labels "
+                f"{family.labelnames}; cannot re-register as {kind} with {labelnames}")
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> _Family:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> _Family:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> _Family:
+        return self._register(name, "histogram", help, labelnames, buckets)
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # ---------------------------------------------------------------- render
+
+    def render(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        return _render_families(
+            [(family, family.items(), None) for family in self.families()])
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump, small enough to ride the worker heartbeat pipe."""
+        families = []
+        for family in self.families():
+            samples = []
+            for labelvalues, child in family.items():
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": list(labelvalues),
+                        "buckets": child.cumulative(),
+                        "sum": child.sum,
+                    })
+                else:
+                    samples.append({"labels": list(labelvalues), "value": child.value})
+            entry = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+            if family.kind == "histogram":
+                entry["boundaries"] = list(family._buckets or ())
+            families.append(entry)
+        return {"families": families}
+
+
+def _render_families(entries: Iterable[tuple]) -> str:
+    """Render ``(family_meta, samples, extra_labels)`` tuples to text.
+
+    ``family_meta`` may be a live :class:`_Family` or a snapshot dict; both
+    expose name/kind/help/labelnames.  ``samples`` is a list of
+    ``(labelvalues, child-or-snapshot-sample)`` pairs.
+    """
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for family, samples, extra in entries:
+        if isinstance(family, _Family):
+            name, kind, help_ = family.name, family.kind, family.help
+            labelnames = family.labelnames
+            boundaries = family._buckets
+        else:
+            name, kind, help_ = family["name"], family["kind"], family["help"]
+            labelnames = tuple(family["labelnames"])
+            boundaries = tuple(family.get("boundaries", ()))
+        if name not in seen_header:
+            seen_header.add(name)
+            if help_:
+                lines.append(f"# HELP {name} {_escape_help(help_)}")
+            lines.append(f"# TYPE {name} {kind}")
+        for labelvalues, child in samples:
+            if kind == "histogram":
+                if isinstance(child, Histogram):
+                    cumulative = child.cumulative()
+                    total_sum = child.sum
+                    bounds = child.boundaries
+                else:
+                    cumulative = list(child["buckets"])
+                    total_sum = child["sum"]
+                    bounds = boundaries
+                bucket_names = tuple(labelnames) + ("le",)
+                for bound, cum in zip(bounds, cumulative):
+                    labels = _label_pairs(
+                        bucket_names, tuple(labelvalues) + (_format_value(bound),), extra)
+                    lines.append(f"{name}_bucket{labels} {cum}")
+                labels = _label_pairs(bucket_names, tuple(labelvalues) + ("+Inf",), extra)
+                lines.append(f"{name}_bucket{labels} {cumulative[-1]}")
+                plain = _label_pairs(labelnames, labelvalues, extra)
+                lines.append(f"{name}_sum{plain} {_format_value(total_sum)}")
+                lines.append(f"{name}_count{plain} {cumulative[-1]}")
+            else:
+                value = child.value if isinstance(child, (Counter, Gauge)) else child["value"]
+                labels = _label_pairs(labelnames, labelvalues, extra)
+                lines.append(f"{name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_snapshots(snapshots: Sequence[tuple[dict, Mapping[str, str] | None]],
+                     registry: MetricsRegistry | None = None) -> str:
+    """Render worker snapshots (plus an optional live registry) as one page.
+
+    Families with the same name across snapshots share one HELP/TYPE header;
+    ``extra_labels`` (typically ``{"worker": "0"}``) distinguish the series.
+    The live registry renders first so supervisor-owned series stay grouped.
+    """
+    entries: list[tuple] = []
+    if registry is not None:
+        entries.extend((family, family.items(), None) for family in registry.families())
+    for snapshot, extra in snapshots:
+        for family in snapshot.get("families", []):
+            samples = [(tuple(s["labels"]), s) for s in family.get("samples", [])]
+            entries.append((family, samples, extra))
+    return _render_families(entries)
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse Prometheus text format back into ``{series: value}`` per family.
+
+    Strict enough to serve as a format validator for the metrics-smoke CI
+    leg: unknown line shapes raise ``ValueError``.  Returns a mapping of
+    family name to ``{"type": ..., "samples": {sample_line_key: value}}``
+    where the key is the full ``name{labels}`` string.
+    """
+    families: dict[str, dict] = {}
+    sample_re = re.compile(
+        r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(?P<labels>\{[^}]*\})?\s+(?P<value>[^\s]+)$")
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"malformed HELP line: {raw!r}")
+            families.setdefault(parts[2], {"type": None, "samples": {}})
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"malformed TYPE line: {raw!r}")
+            family = families.setdefault(parts[2], {"type": None, "samples": {}})
+            family["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if not match:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            value = float(value_text)
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        family = families.setdefault(base, {"type": None, "samples": {}})
+        family["samples"][line.rsplit(" ", 1)[0].rstrip()] = value
+    return families

@@ -19,6 +19,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.errors import ServerOverloadedError, ValidationError
 
 
@@ -65,11 +66,17 @@ class AdmissionQueue:
             self._queue.put_nowait(ticket)
         except asyncio.QueueFull:
             self.shed += 1
+            obs.counter_inc("repro_admission_shed_total",
+                            help="Requests shed by the full admission queue.")
             raise ServerOverloadedError(
                 f"admission queue is full ({self.depth} requests waiting); "
                 "request shed"
             ) from None
         self.admitted += 1
+        obs.counter_inc("repro_admission_admitted_total",
+                        help="Requests admitted to the quote queue.")
+        obs.gauge_set("repro_admission_queue_depth", self._queue.qsize(),
+                      help="Tickets waiting in the admission queue.")
 
     async def take(self) -> QuoteTicket:
         """The next waiting ticket (FIFO); awaits until one arrives."""

@@ -35,7 +35,9 @@ from __future__ import annotations
 import asyncio
 import warnings
 from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
 
+from repro import obs
 from repro.core.retry import DegradedExecutionWarning, RetryPolicy, check_retry_policy
 from repro.errors import QuoteDeadlineError, ReproError, ServingError
 from repro.serving.admission import AdmissionQueue, QuoteTicket
@@ -53,6 +55,7 @@ class MicroBatcher:
         batch_window: float = 0.002,
         max_batch: int = 64,
         retry: RetryPolicy | dict | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if not isinstance(max_batch, int) or isinstance(max_batch, bool) or max_batch < 1:
             from repro.errors import ValidationError
@@ -66,6 +69,10 @@ class MicroBatcher:
         self.batch_window = float(batch_window)
         self.max_batch = max_batch
         self.retry = check_retry_policy(retry)
+        #: Injectable time source for batch wall-clock measurement (and the
+        #: Retry-After EWMA built on it).  ``None`` means the event loop's
+        #: clock; tests inject a fake to pin the EWMA fold deterministically.
+        self._clock = clock
         # One worker thread keeps kernel calls off the event loop (health
         # endpoints answer during a long batch) and in submission order.
         self._executor = ThreadPoolExecutor(
@@ -144,18 +151,25 @@ class MicroBatcher:
             self.observed_batch_seconds = elapsed
         else:
             self.observed_batch_seconds += 0.2 * (elapsed - self.observed_batch_seconds)
+        obs.observe("repro_batch_seconds", elapsed,
+                    help="Wall time per priced batch.")
+        obs.gauge_set("repro_batch_ewma_seconds", self.observed_batch_seconds,
+                      help="EWMA of batch wall time (the Retry-After basis).")
 
     async def _price_batch(self, batch: list[QuoteTicket]) -> None:
         loop = asyncio.get_running_loop()
-        started = loop.time()
+        clock = self._clock or loop.time
+        started = clock()
         state = self.state_of()
         self.batches += 1
         live: list[QuoteTicket] = []
         for ticket in batch:
             if ticket.future.done():
                 continue
-            if ticket.expired(loop.time()):
+            if ticket.expired(clock()):
                 self.expired += 1
+                obs.counter_inc("repro_quote_expired_total",
+                                help="Tickets expired before pricing.")
                 ticket.fail(QuoteDeadlineError("quote deadline expired while queued"))
                 continue
             if ticket.prepared.state is not state:
@@ -174,15 +188,19 @@ class MicroBatcher:
             live.append(ticket)
         if not live:
             return
+        obs.counter_inc("repro_batches_total", help="Batches priced.")
+        obs.observe("repro_batch_size", len(live), help="Live tickets per batch.",
+                    buckets=obs.DEFAULT_SIZE_BUCKETS)
         attempts = 0
         while True:
             attempts += 1
             try:
-                quotes = await loop.run_in_executor(
-                    self._executor,
-                    state.quote_batch,
-                    [ticket.prepared for ticket in live],
-                )
+                with obs.span("serve.batch", tickets=len(live), attempt=attempts):
+                    quotes = await loop.run_in_executor(
+                        self._executor,
+                        state.quote_batch,
+                        [ticket.prepared for ticket in live],
+                    )
                 break
             except asyncio.CancelledError:
                 raise
@@ -192,6 +210,8 @@ class MicroBatcher:
                     continue
                 if not self.retry.degrade:
                     self.failed += len(live)
+                    obs.counter_inc("repro_quote_failed_total", len(live),
+                                    help="Tickets failed with a typed error.")
                     error = exc if isinstance(exc, ReproError) else ServingError(
                         f"batched quote kernel failed: {exc!r}"
                     )
@@ -203,34 +223,43 @@ class MicroBatcher:
                     stacklevel=2,
                 )
                 self.degraded_batches += 1
+                obs.counter_inc("repro_batch_degraded_total",
+                                help="Batches degraded to sequential quoting.")
                 self.last_batch_degraded = True
                 await self._price_sequential(state, live)
-                self._record_batch_seconds(loop.time() - started)
+                self._record_batch_seconds(clock() - started)
                 return
         self.last_batch_degraded = False
         for ticket, quote in zip(live, quotes):
             self.quotes += 1
             ticket.resolve(quote)
-        self._record_batch_seconds(loop.time() - started)
+        obs.counter_inc("repro_quotes_total", len(live), help="Quotes resolved.")
+        self._record_batch_seconds(clock() - started)
 
     async def _price_sequential(self, state: ServingState, live: list[QuoteTicket]) -> None:
         """The degraded rung: one request per kernel call, same arithmetic."""
         loop = asyncio.get_running_loop()
+        clock = self._clock or loop.time
         for ticket in live:
             if ticket.future.done():
                 continue
-            if ticket.expired(loop.time()):
+            if ticket.expired(clock()):
                 self.expired += 1
+                obs.counter_inc("repro_quote_expired_total",
+                                help="Tickets expired before pricing.")
                 ticket.fail(QuoteDeadlineError("quote deadline expired while degraded"))
                 continue
             try:
-                quote = await loop.run_in_executor(
-                    self._executor, state.quote_single, ticket.prepared
-                )
+                with obs.span("serve.quote_sequential"):
+                    quote = await loop.run_in_executor(
+                        self._executor, state.quote_single, ticket.prepared
+                    )
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
                 self.failed += 1
+                obs.counter_inc("repro_quote_failed_total",
+                                help="Tickets failed with a typed error.")
                 ticket.fail(
                     exc
                     if isinstance(exc, ReproError)
@@ -238,4 +267,5 @@ class MicroBatcher:
                 )
                 continue
             self.quotes += 1
+            obs.counter_inc("repro_quotes_total", help="Quotes resolved.")
             ticket.resolve(quote)

@@ -62,6 +62,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.core import faults
 from repro.core.retry import RetryPolicy
 from repro.errors import (
@@ -183,11 +184,16 @@ async def write_http_response(
     *,
     keep_alive: bool,
     extra_headers: list[str] | None = None,
+    content_type: str = "application/json",
 ) -> None:
-    """Serialize one HTTP/1.1 JSON response (best-effort on a gone peer)."""
+    """Serialize one HTTP/1.1 response (best-effort on a gone peer).
+
+    JSON by default; ``GET /metrics`` overrides *content_type* with the
+    Prometheus text exposition type.
+    """
     head = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -657,7 +663,29 @@ class QuoteServer:
         """One parsed request: ``(method, path, headers, body)`` or None at EOF."""
         return await read_http_request(reader, max_body_bytes=self.max_body_bytes)
 
+    #: Routes that get their own label on the per-route request series;
+    #: anything else is folded into ``other`` so a scanner probing random
+    #: paths cannot grow the label space without bound.
+    _METRIC_ROUTES = ("/quote", "/reload", "/healthz", "/readyz", "/metrics")
+
     async def _dispatch(self, request, writer: asyncio.StreamWriter) -> bool:
+        if not obs.metrics_enabled():
+            return await self._route_request(request, writer)
+        method, path = request[0], request[1]
+        route = path if path in self._METRIC_ROUTES else "other"
+        started = time.monotonic()
+        try:
+            return await self._route_request(request, writer)
+        finally:
+            obs.counter_inc("repro_http_requests_total",
+                            help="HTTP requests by route and method.",
+                            labelnames=("route", "method"),
+                            route=route, method=method)
+            obs.observe("repro_http_request_seconds", time.monotonic() - started,
+                        help="Wall time per HTTP request.",
+                        labelnames=("route",), route=route)
+
+    async def _route_request(self, request, writer: asyncio.StreamWriter) -> bool:
         method, path, headers, body = request
         keep_alive = headers.get("connection", "").lower() != "close"
         if path == "/healthz" and method == "GET":
@@ -675,6 +703,12 @@ class QuoteServer:
                 },
                 keep_alive=keep_alive,
             )
+            return keep_alive
+        if path == "/metrics" and method == "GET":
+            # Deliberately ahead of the drain gate: scrapes must keep
+            # working while the server drains, or the shutdown itself
+            # becomes unobservable.
+            await self._handle_metrics(writer, keep_alive)
             return keep_alive
         if path in ("/quote", "/reload") and self.draining:
             # New work is refused once drain begins; only in-flight
@@ -793,6 +827,67 @@ class QuoteServer:
             {"previous_fingerprint": previous, "fingerprint": current},
             keep_alive=keep_alive,
             fingerprint=current,
+        )
+
+    # ---------------------------------------------------------------- metrics
+    def export_gauges(self, registry) -> None:
+        """Refresh scrape-time gauges from live server state.
+
+        Counters are incremented at their event sites; gauges that mirror
+        *current* state (queue depth, uptime, solution diagnostics) are set
+        here so a scrape always reads the moment's truth rather than the
+        last event's.
+        """
+        registry.gauge("repro_admission_queue_depth",
+                       "Tickets waiting in the admission queue.").set(
+            self.admission.waiting)
+        registry.gauge("repro_server_uptime_seconds",
+                       "Seconds since the server started.").set(
+            time.monotonic() - self._started_at)
+        registry.gauge("repro_open_quotes",
+                       "Quotes between admission and resolution.").set(
+            self._open_quotes)
+        registry.gauge("repro_server_draining",
+                       "1 while drain/close is in progress.").set(
+            1.0 if self.draining else 0.0)
+        state = self._state
+        if state is not None:
+            registry.gauge("repro_solution_offers",
+                           "Offers on the serving menu.").set(len(state.offers))
+            diagnostics = state.solution.diagnostics()
+            ratio = diagnostics.get("bundle_vs_separate_ratio")
+            if ratio is not None:
+                registry.gauge(
+                    "repro_solution_bundle_vs_separate_ratio",
+                    "Kupfer bundle-vs-separate revenue ratio of the menu.",
+                ).set(ratio)
+
+    async def _handle_metrics(
+        self, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        registry = obs.metrics_registry()
+        if registry is None:
+            await self._respond(
+                writer,
+                404,
+                {
+                    "error": "MetricsDisabled",
+                    "message": (
+                        "metrics are off; start with --metrics (or call "
+                        "repro.obs.enable_metrics()) to expose Prometheus series"
+                    ),
+                },
+                keep_alive=keep_alive,
+            )
+            return
+        self.export_gauges(registry)
+        body = registry.render().encode("utf-8")
+        await write_http_response(
+            writer,
+            200,
+            body,
+            keep_alive=keep_alive,
+            content_type=obs.EXPOSITION_CONTENT_TYPE,
         )
 
     def retry_after_seconds(self) -> int:

@@ -52,6 +52,7 @@ import os
 import signal
 import time
 
+from repro import obs
 from repro.core import faults
 from repro.core.shm import SharedWTPStore
 from repro.errors import (
@@ -156,7 +157,14 @@ class WorkerHandle:
         self.active = 0
         self.last_heartbeat = 0.0
         self.spawn_failures = 0
+        #: Lifetime totals for this slot.  ``spawn_failures`` resets once
+        #: the worker comes up; these two never do, so ``/healthz`` and
+        #: ``/metrics`` can show a slot's full crash history.
+        self.spawn_retries = 0
         self.respawns = 0
+        #: Last metrics snapshot received on this slot's heartbeat (only
+        #: populated when the fleet runs with metrics enabled).
+        self.metrics_snapshot: dict | None = None
         #: Future the tick loop resolves with a worker "reloaded" /
         #: "reload_failed" message, awaited by the rolling reload.
         self.reload_reply: asyncio.Future | None = None
@@ -198,6 +206,7 @@ class ServingSupervisor:
         breaker_cooldown: float = 0.5,
         route_budget: float = 15.0,
         drain_timeout: float = 10.0,
+        trace_log: str | None = None,
     ) -> None:
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ValidationError(f"workers must be a positive int, got {workers!r}")
@@ -222,6 +231,9 @@ class ServingSupervisor:
             "heartbeat_interval": self.heartbeat_interval,
             "drain_timeout": self.drain_timeout,
         }
+        #: Base path for per-worker JSONL span sinks (workers append a
+        #: ``.worker<i>`` suffix); forwarded at spawn time.
+        self.trace_log = trace_log
         self._context = multiprocessing.get_context("spawn")
         self.handles: list[WorkerHandle] = [
             WorkerHandle(i, CircuitBreaker(self.breaker_threshold, self.breaker_cooldown))
@@ -279,9 +291,14 @@ class ServingSupervisor:
     # ------------------------------------------------------------------ spawn
     def _spawn(self, handle: WorkerHandle) -> None:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
+        # Observability enablement is read at spawn time, not __init__, so
+        # respawned workers always match the supervisor's current state.
+        options = dict(self._worker_options)
+        options["metrics"] = obs.metrics_enabled()
+        options["trace_log"] = self.trace_log
         process = self._context.Process(
             target=worker_main,
-            args=(handle.index, self._path, self._blocks, child_conn, self._worker_options),
+            args=(handle.index, self._path, self._blocks, child_conn, options),
             daemon=True,
             name=f"repro-quote-worker-{handle.index}",
         )
@@ -292,6 +309,7 @@ class ServingSupervisor:
         handle.port = None
         handle.pid = None
         handle.fingerprint = None
+        handle.metrics_snapshot = None
         handle.phase = "starting"
         handle.last_heartbeat = asyncio.get_running_loop().time()
 
@@ -321,6 +339,8 @@ class ServingSupervisor:
                     return False
                 if message[0] == "heartbeat":
                     handle.last_heartbeat = loop.time()
+                    if len(message) > 2:
+                        handle.metrics_snapshot = message[2]
             if not handle.alive():
                 return False
             await asyncio.sleep(0.01)
@@ -357,10 +377,24 @@ class ServingSupervisor:
             self._reap(handle)
             self._spawn(handle)
             self.respawns += 1
+            handle.respawns += 1
+            obs.counter_inc(
+                "repro_worker_respawn_total",
+                help="Worker processes respawned after a death.",
+                labelnames=("slot",),
+                slot=str(handle.index),
+            )
             if await self._await_ready(handle):
                 return
             handle.spawn_failures += 1
+            handle.spawn_retries += 1
             self.spawn_retries += 1
+            obs.counter_inc(
+                "repro_spawn_retries_total",
+                help="Failed spawn attempts that were retried.",
+                labelnames=("slot",),
+                slot=str(handle.index),
+            )
             self._reap(handle, kill=True)
             if handle.spawn_failures >= MAX_SPAWN_ATTEMPTS:
                 handle.phase = "failed"
@@ -410,6 +444,7 @@ class ServingSupervisor:
             if handle.phase == "ready":
                 if not handle.alive():
                     self.worker_deaths += 1
+                    self._count_death(handle)
                     handle.phase = "dead"
                     handle.breaker.record_failure(now)
                     self._reap(handle)
@@ -419,10 +454,26 @@ class ServingSupervisor:
                     # not talking — kill it and start over.
                     self.heartbeat_timeouts += 1
                     self.worker_deaths += 1
+                    self._count_death(handle)
+                    obs.counter_inc(
+                        "repro_worker_heartbeat_timeouts_total",
+                        help="Workers killed for heartbeat silence.",
+                        labelnames=("slot",),
+                        slot=str(handle.index),
+                    )
                     handle.phase = "dead"
                     handle.breaker.record_failure(now)
                     self._reap(handle, kill=True)
                     self._schedule_respawn(handle)
+
+    @staticmethod
+    def _count_death(handle: WorkerHandle) -> None:
+        obs.counter_inc(
+            "repro_worker_deaths_total",
+            help="Worker deaths detected (process exit or silence).",
+            labelnames=("slot",),
+            slot=str(handle.index),
+        )
 
     def _drain_pipe(self, handle: WorkerHandle, now: float) -> None:
         conn = handle.conn
@@ -433,6 +484,8 @@ class ServingSupervisor:
                 message = conn.recv()
                 handle.last_heartbeat = now
                 kind = message[0]
+                if kind == "heartbeat" and len(message) > 2:
+                    handle.metrics_snapshot = message[2]
                 if kind in ("reloaded", "reload_failed"):
                     reply = handle.reload_reply
                     handle.reload_reply = None
@@ -462,7 +515,14 @@ class ServingSupervisor:
                     return
                 attempts += 1
                 handle.spawn_failures += 1
+                handle.spawn_retries += 1
                 self.spawn_retries += 1
+                obs.counter_inc(
+                    "repro_spawn_retries_total",
+                    help="Failed spawn attempts that were retried.",
+                    labelnames=("slot",),
+                    slot=str(handle.index),
+                )
                 self._reap(handle, kill=True)
                 if attempts >= MAX_SPAWN_ATTEMPTS:
                     handle.phase = "failed"
@@ -691,6 +751,9 @@ class ServingSupervisor:
         loop = asyncio.get_running_loop()
         budget_at = loop.time() + self.route_budget
         self.requests += 1
+        obs.counter_inc(
+            "repro_fleet_requests_total", help="Client requests routed to the fleet."
+        )
         first_attempt = True
         while True:
             now = loop.time()
@@ -703,6 +766,7 @@ class ServingSupervisor:
             if handle is None:
                 if not first_attempt:
                     self.route_retries += 1
+                    self._count_route_retry()
                 first_attempt = False
                 if any(h.routable and h.alive() for h in self.handles):
                     # Live routable workers exist but every breaker is open
@@ -716,6 +780,7 @@ class ServingSupervisor:
                 continue
             if not first_attempt:
                 self.route_retries += 1
+                self._count_route_retry()
             first_attempt = False
             if faults.fire("route") is not None:
                 # Injected routing failure: the worker is treated as
@@ -746,6 +811,7 @@ class ServingSupervisor:
                     # about to absorb.
                     if handle.phase == "ready":
                         self.worker_deaths += 1
+                        self._count_death(handle)
                         handle.phase = "dead"
                         self._reap(handle)
                         self._schedule_respawn(handle)
@@ -759,7 +825,20 @@ class ServingSupervisor:
                 handle.active -= 1
             handle.breaker.record_success()
             self.routed += 1
+            obs.counter_inc(
+                "repro_fleet_routed_total",
+                help="Requests answered by a worker, by slot.",
+                labelnames=("slot",),
+                slot=str(handle.index),
+            )
             return status, reply_headers, reply_body
+
+    @staticmethod
+    def _count_route_retry() -> None:
+        obs.counter_inc(
+            "repro_fleet_route_retries_total",
+            help="Failover attempts beyond a request's first routing try.",
+        )
 
     # ----------------------------------------------------------------- reload
     async def reload(self, path) -> tuple[str | None, str]:
@@ -888,6 +967,7 @@ class ServingSupervisor:
             "ready": ready > 0 and not self.draining,
             "fingerprint": self.fingerprint,
             "uptime_seconds": time.monotonic() - self._started_at,
+            "in_flight": self._in_flight,
             "workers": [
                 {
                     "index": h.index,
@@ -899,6 +979,8 @@ class ServingSupervisor:
                     "breaker": h.breaker.state,
                     "breaker_failures": h.breaker.failures,
                     "spawn_failures": h.spawn_failures,
+                    "spawn_retries": h.spawn_retries,
+                    "respawns": h.respawns,
                     "fingerprint": h.fingerprint,
                 }
                 for h in self.handles
@@ -976,9 +1058,99 @@ class ServingSupervisor:
             except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
                 pass
 
+    _METRIC_ROUTES = ("/quote", "/reload", "/healthz", "/readyz", "/metrics")
+    _BREAKER_STATES = {"closed": 0, "half-open": 1, "open": 2}
+
+    def export_gauges(self, registry) -> None:
+        """Refresh fleet gauges right before a scrape renders them."""
+        obs.gauge_set(
+            "repro_fleet_in_flight", self._in_flight,
+            help="Client requests currently in flight at the edge.",
+        )
+        obs.gauge_set(
+            "repro_fleet_workers_ready",
+            sum(1 for h in self.handles if h.phase == "ready"),
+            help="Workers in the ready phase.",
+        )
+        obs.gauge_set(
+            "repro_fleet_draining", 1.0 if self.draining else 0.0,
+            help="1 while the fleet is draining.",
+        )
+        obs.gauge_set(
+            "repro_supervisor_uptime_seconds",
+            time.monotonic() - self._started_at,
+            help="Seconds since the supervisor started.",
+        )
+        for h in self.handles:
+            obs.gauge_set(
+                "repro_worker_breaker_state",
+                float(self._BREAKER_STATES.get(h.breaker.state, 2)),
+                help="Per-slot breaker state (0 closed, 1 half-open, 2 open).",
+                labelnames=("slot",),
+                slot=str(h.index),
+            )
+            obs.gauge_set(
+                "repro_worker_up", 1.0 if h.phase == "ready" else 0.0,
+                help="1 while the slot's worker is ready.",
+                labelnames=("slot",),
+                slot=str(h.index),
+            )
+            obs.gauge_set(
+                "repro_worker_active_requests", h.active,
+                help="Proxied requests in flight per slot.",
+                labelnames=("slot",),
+                slot=str(h.index),
+            )
+
+    async def _handle_metrics(
+        self, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        registry = obs.metrics_registry()
+        if registry is None:
+            await self._respond(
+                writer,
+                404,
+                {
+                    "error": "MetricsDisabled",
+                    "message": "metrics are not enabled; start with --metrics",
+                },
+                keep_alive=keep_alive,
+            )
+            return
+        self.export_gauges(registry)
+        # The supervisor's own families render first, then every live
+        # worker's last heartbeat snapshot with an injected worker label —
+        # the fleet-wide view behind one scrape endpoint.
+        snapshots = [
+            (h.metrics_snapshot, {"worker": str(h.index)})
+            for h in self.handles
+            if h.metrics_snapshot is not None
+        ]
+        text = obs.render_snapshots(snapshots, registry)
+        await write_http_response(
+            writer,
+            200,
+            text.encode("utf-8"),
+            keep_alive=keep_alive,
+            content_type=obs.EXPOSITION_CONTENT_TYPE,
+        )
+
     async def _dispatch(self, request, writer: asyncio.StreamWriter) -> bool:
         method, path, headers, body = request
         keep_alive = headers.get("connection", "").lower() != "close"
+        if obs.metrics_enabled():
+            route = path if path in self._METRIC_ROUTES else "other"
+            obs.counter_inc(
+                "repro_http_requests_total",
+                help="HTTP requests by route and method.",
+                labelnames=("route", "method"),
+                route=route,
+                method=method,
+            )
+        if path == "/metrics" and method == "GET":
+            # Served even while draining: scrapes are how a drain is watched.
+            await self._handle_metrics(writer, keep_alive)
+            return keep_alive
         if path == "/healthz" and method == "GET":
             await self._respond(writer, 200, self.health(), keep_alive=keep_alive)
             return keep_alive

@@ -38,6 +38,7 @@ import signal
 import sys
 import threading
 
+from repro import obs
 from repro.core import faults
 from repro.serving.server import QuoteServer
 from repro.serving.state import ServingState
@@ -79,6 +80,15 @@ def worker_main(index: int, path, blocks, conn, options: dict) -> None:
     if faults.fire("worker_spawn") is not None:
         # As if the interpreter failed to come up: die before ready.
         os._exit(1)
+    if options.get("metrics"):
+        # Fresh per-process registry; snapshots ride the heartbeat so the
+        # supervisor's /metrics can expose fleet-wide series.
+        obs.enable_metrics()
+    trace_log = options.get("trace_log")
+    if trace_log:
+        # One JSONL file per worker — concurrent appends from multiple
+        # processes would interleave within a line otherwise.
+        obs.enable_tracing(sink_path=f"{trace_log}.worker{index}")
     try:
         state = _build_state(path, blocks)
     except BaseException as exc:
@@ -146,8 +156,16 @@ async def _run(index: int, state: ServingState, conn, options: dict) -> int:
                 silenced = True
             if silenced:
                 continue
+            registry = obs.metrics_registry()
+            if registry is not None:
+                # Third element: this worker's metric snapshot.  Old
+                # supervisors dispatch on message[0] and ignore the extra
+                # field, so the widened tuple stays backward-compatible.
+                message = ("heartbeat", index, registry.snapshot())
+            else:
+                message = ("heartbeat", index)
             try:
-                conn.send(("heartbeat", index))
+                conn.send(message)
             except (BrokenPipeError, OSError):
                 return
 

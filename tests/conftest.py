@@ -28,6 +28,16 @@ def _no_leaked_shared_blocks():
     assert not leaked, f"shared-memory blocks leaked: {leaked}"
 
 
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Metrics/tracing are process-global opt-ins; never leak across tests."""
+    from repro import obs
+
+    yield
+    obs.disable_metrics()
+    obs.disable_tracing()
+
+
 @pytest.fixture(scope="session")
 def small_dataset():
     """A seeded ratings dataset small enough for exhaustive checks."""

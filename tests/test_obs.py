@@ -1,0 +1,511 @@
+"""Observability subsystem: metrics core, exposition, tracing, serving wiring.
+
+The contracts under test:
+
+* the metrics core is correct in isolation (counter monotonicity, gauge
+  callbacks, histogram cumulative buckets, registry signature conflicts),
+* the text exposition round-trips through the strict parser used by the
+  metrics-smoke CI leg,
+* worker snapshots merge into one exposition page with injected labels,
+* everything is **off by default** — guard helpers and ``span`` are no-ops
+  until explicitly enabled, and quotes served with metrics enabled stay
+  bit-identical to cold ``solution.quote()``,
+* the Retry-After EWMA folds deterministically under an injected clock.
+
+No pytest-asyncio: each async test drives its own loop via ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.api import BundlingSolver, EngineConfig
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    render_snapshots,
+)
+from repro.serving import QuoteServer
+from repro.serving.admission import AdmissionQueue, QuoteTicket
+from repro.serving.batching import MicroBatcher
+
+
+@pytest.fixture(scope="module")
+def obs_solution(small_wtp):
+    return BundlingSolver("mixed_greedy", EngineConfig(theta=0.15)).fit(small_wtp)
+
+
+@pytest.fixture(scope="module")
+def obs_rows(obs_solution):
+    rng = np.random.default_rng(5)
+    return rng.uniform(0.0, 12.0, size=(4, obs_solution.n_items))
+
+
+# ============================================================== metric types
+class TestMetricTypes:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+    def test_gauge_callback_evaluated_at_read(self):
+        gauge = Gauge()
+        box = {"v": 1.0}
+        gauge.set_function(lambda: box["v"])
+        assert gauge.value == 1.0
+        box["v"] = 7.0
+        assert gauge.value == 7.0
+        gauge.set_function(lambda: 1 / 0)
+        assert math.isnan(gauge.value)
+
+    def test_histogram_cumulative_buckets(self):
+        hist = Histogram((0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.cumulative() == [1, 3, 4, 5]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+
+# ================================================================= registry
+class TestRegistry:
+    def test_reregister_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", "help")
+        second = registry.counter("repro_x_total", "other help")
+        assert first is second
+
+    def test_conflicting_signature_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.counter("repro_x_total", labelnames=("route",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok", labelnames=("__reserved",))
+
+    def test_labels_must_match(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_labeled_total", labelnames=("route",))
+        family.labels(route="/quote").inc()
+        with pytest.raises(ValueError):
+            family.labels(method="GET")
+        with pytest.raises(ValueError):
+            family.inc()  # labelled family has no solo child
+
+    def test_same_labels_same_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_labeled_total", labelnames=("route",))
+        family.labels(route="/quote").inc()
+        family.labels(route="/quote").inc()
+        assert family.labels(route="/quote").value == 2.0
+
+
+# =============================================================== exposition
+class TestExposition:
+    def test_render_parses_back(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "A counter.").inc(3)
+        registry.gauge("repro_b", "A gauge.").set(1.5)
+        registry.histogram(
+            "repro_c_seconds", "A histogram.", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        labeled = registry.counter("repro_d_total", "Labeled.", labelnames=("k",))
+        labeled.labels(k='with "quotes" and \\slash').inc()
+        text = registry.render()
+        assert "# TYPE repro_a_total counter" in text
+        assert "# HELP repro_a_total A counter." in text
+        assert 'repro_d_total{k="with \\"quotes\\" and \\\\slash"} 1' in text
+        parsed = parse_exposition(text)
+        assert parsed["repro_a_total"]["type"] == "counter"
+        assert parsed["repro_a_total"]["samples"]["repro_a_total"] == 3.0
+        assert parsed["repro_b"]["samples"]["repro_b"] == 1.5
+        samples = parsed["repro_c_seconds"]["samples"]
+        assert samples['repro_c_seconds_bucket{le="0.1"}'] == 0.0
+        assert samples['repro_c_seconds_bucket{le="1"}'] == 1.0
+        assert samples['repro_c_seconds_bucket{le="+Inf"}'] == 1.0
+        assert samples["repro_c_seconds_count"] == 1.0
+        assert samples["repro_c_seconds_sum"] == 0.5
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not an exposition line\n")
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE repro_x bogus_kind\n")
+
+    def test_snapshot_merge_injects_worker_label(self):
+        worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+        worker_a.counter("repro_quotes_total", "Quotes.").inc(2)
+        worker_b.counter("repro_quotes_total", "Quotes.").inc(5)
+        worker_b.histogram("repro_batch_seconds", buckets=(1.0,)).observe(0.5)
+        own = MetricsRegistry()
+        own.gauge("repro_fleet_workers_ready").set(2)
+        text = render_snapshots(
+            [
+                (worker_a.snapshot(), {"worker": "0"}),
+                (worker_b.snapshot(), {"worker": "1"}),
+            ],
+            own,
+        )
+        parsed = parse_exposition(text)
+        samples = parsed["repro_quotes_total"]["samples"]
+        assert samples['repro_quotes_total{worker="0"}'] == 2.0
+        assert samples['repro_quotes_total{worker="1"}'] == 5.0
+        assert parsed["repro_fleet_workers_ready"]["samples"][
+            "repro_fleet_workers_ready"
+        ] == 2.0
+        # One shared TYPE header per family, even across snapshots.
+        assert text.count("# TYPE repro_quotes_total counter") == 1
+        assert (
+            parsed["repro_batch_seconds"]["samples"][
+                'repro_batch_seconds_bucket{le="+Inf",worker="1"}'
+            ]
+            == 1.0
+        )
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc()
+        registry.histogram("repro_b_seconds", buckets=(0.5,)).observe(0.1)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert render_snapshots([(snapshot, {"worker": "3"})])
+
+
+# ======================================================== enablement / guards
+class TestGuardHelpers:
+    def test_disabled_helpers_are_noops(self):
+        obs.disable_metrics()
+        obs.counter_inc("repro_never_total")
+        obs.gauge_set("repro_never", 1.0)
+        obs.observe("repro_never_seconds", 0.1)
+        assert obs.metrics_registry() is None
+        assert not obs.metrics_enabled()
+
+    def test_enabled_helpers_record(self):
+        registry = obs.enable_metrics()
+        obs.counter_inc("repro_hits_total", help="Hits.")
+        obs.counter_inc("repro_hits_total", 2.0)
+        obs.gauge_set("repro_depth", 7, help="Depth.")
+        obs.observe("repro_lat_seconds", 0.2, buckets=(0.1, 1.0))
+        obs.counter_inc(
+            "repro_routed_total", labelnames=("route",), route="/quote"
+        )
+        text = registry.render()
+        parsed = parse_exposition(text)
+        assert parsed["repro_hits_total"]["samples"]["repro_hits_total"] == 3.0
+        assert parsed["repro_depth"]["samples"]["repro_depth"] == 7.0
+        assert (
+            parsed["repro_routed_total"]["samples"][
+                'repro_routed_total{route="/quote"}'
+            ]
+            == 1.0
+        )
+
+    def test_scan_metrics_recorded_and_bit_identical(self, obs_solution, obs_rows):
+        cold = obs_solution.quote(obs_rows)
+        registry = obs.enable_metrics()
+        instrumented = obs_solution.quote(obs_rows)
+        assert np.array_equal(
+            np.asarray(instrumented.payments), np.asarray(cold.payments)
+        )
+        assert instrumented.revenue == cold.revenue
+        parse_exposition(registry.render())
+
+
+# ================================================================== tracing
+class TestTracing:
+    def test_span_noop_when_disabled(self):
+        obs.disable_tracing()
+        with obs.span("scan.pure_prices", columns=3):
+            pass
+        assert obs.tracer() is None
+
+    def test_span_records_event(self):
+        tracer = obs.enable_tracing()
+        with obs.span("scan.pure_prices", columns=3, executor="serial"):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "scan.pure_prices"
+        assert event["columns"] == 3
+        assert event["wall_s"] >= 0.0
+        assert event["cpu_s"] >= 0.0
+        assert "error" not in event
+
+    def test_span_records_error_type(self):
+        tracer = obs.enable_tracing()
+        with pytest.raises(KeyError):
+            with obs.span("failing"):
+                raise KeyError("boom")
+        (event,) = tracer.events()
+        assert event["error"] == "KeyError"
+
+    def test_ring_buffer_bounded(self):
+        tracer = obs.enable_tracing(capacity=3)
+        for i in range(10):
+            with obs.span(f"s{i}"):
+                pass
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["s7", "s8", "s9"]
+
+    def test_jsonl_sink(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        obs.enable_tracing(sink_path=str(sink))
+        with obs.span("scan.mixed_merges", chunks=2):
+            pass
+        obs.disable_tracing()
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["name"] == "scan.mixed_merges" and event["chunks"] == 2
+
+
+# ==================================================== Retry-After EWMA clock
+class _FakeClock:
+    """Returns scripted instants; repeats the last one when exhausted."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def __call__(self) -> float:
+        if len(self._values) > 1:
+            return self._values.pop(0)
+        return self._values[0]
+
+
+class TestRetryAfterEWMA:
+    def test_ewma_fold_is_20_80(self):
+        batcher = MicroBatcher(AdmissionQueue(4), lambda: None)
+        batcher._record_batch_seconds(0.5)
+        assert batcher.observed_batch_seconds == pytest.approx(0.5)
+        batcher._record_batch_seconds(0.25)
+        assert batcher.observed_batch_seconds == pytest.approx(
+            0.5 + 0.2 * (0.25 - 0.5)
+        )
+        batcher._record_batch_seconds(1.0)
+        assert batcher.observed_batch_seconds == pytest.approx(
+            0.45 + 0.2 * (1.0 - 0.45)
+        )
+
+    def test_injected_clock_pins_batch_seconds(self, obs_solution, obs_rows):
+        """A real priced batch measured under a scripted clock.
+
+        The single-ticket success path reads the clock three times:
+        batch start, the ticket's expiry check, and batch end — so the
+        script pins elapsed wall time (and therefore the EWMA) exactly.
+        """
+        state = obs_solution.serving_state()
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(4)
+            clock = _FakeClock([100.0, 100.0, 100.5])
+            batcher = MicroBatcher(
+                queue, lambda: state, batch_window=0.0, clock=clock
+            )
+            batcher.start()
+            try:
+                ticket = QuoteTicket(
+                    prepared=state.prepare_rows(obs_rows),
+                    deadline_at=1e9,
+                    future=loop.create_future(),
+                )
+                queue.submit(ticket)
+                quote = await ticket.future
+            finally:
+                await batcher.stop()
+            return quote, batcher.observed_batch_seconds
+
+        quote, observed = asyncio.run(main())
+        assert observed == pytest.approx(0.5)
+        cold = obs_solution.quote(obs_rows)
+        assert np.array_equal(np.asarray(quote.payments), np.asarray(cold.payments))
+
+    def test_retry_after_tracks_ewma(self, obs_solution):
+        server = QuoteServer(obs_solution, max_batch=64)
+        assert server.retry_after_seconds() == 1  # nothing observed yet
+        server.batcher.observed_batch_seconds = 2.3
+        assert server.retry_after_seconds() == 3  # ceil of one batch ahead
+        server.batcher.observed_batch_seconds = 1e9
+        assert server.retry_after_seconds() <= 600  # bounded by the ceiling
+
+
+# =========================================================== /metrics route
+async def _raw_get(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: 0\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        head = (await reader.readuntil(b"\r\n\r\n")).split(b"\r\n")
+        status = int(head[0].split()[1])
+        headers = {}
+        for line in head[1:]:
+            if b":" in line:
+                name, _, value = line.partition(b":")
+                headers[name.strip().lower().decode()] = value.strip().decode()
+        body = await reader.readexactly(int(headers.get("content-length", 0)))
+        return status, headers, body.decode("utf-8")
+    finally:
+        writer.close()
+
+
+async def _post_quote(host, port, rows):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps({"rows": rows.tolist()}).encode()
+        writer.write(
+            f"POST /quote HTTP/1.1\r\nHost: t\r\nContent-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        head = (await reader.readuntil(b"\r\n\r\n")).split(b"\r\n")
+        status = int(head[0].split()[1])
+        headers = {}
+        for line in head[1:]:
+            if b":" in line:
+                name, _, value = line.partition(b":")
+                headers[name.strip().lower().decode()] = value.strip().decode()
+        await reader.readexactly(int(headers.get("content-length", 0)))
+        return status
+    finally:
+        writer.close()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_disabled_is_404(self, obs_solution):
+        async def main():
+            server = QuoteServer(obs_solution)
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                return await _raw_get(host, port, "/metrics")
+            finally:
+                await server.stop()
+
+        status, _, body = asyncio.run(main())
+        assert status == 404
+        assert json.loads(body)["error"] == "MetricsDisabled"
+
+    def test_metrics_exposition_after_quotes(self, obs_solution, obs_rows):
+        obs.enable_metrics()
+
+        async def main():
+            server = QuoteServer(obs_solution, batch_window=0.0)
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                quote_status = await _post_quote(host, port, obs_rows)
+                return quote_status, await _raw_get(host, port, "/metrics")
+            finally:
+                await server.stop()
+
+        quote_status, (status, headers, text) = asyncio.run(main())
+        assert quote_status == 200 and status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        parsed = parse_exposition(text)
+        assert parsed["repro_quotes_total"]["samples"]["repro_quotes_total"] >= 1.0
+        assert (
+            parsed["repro_http_requests_total"]["samples"][
+                'repro_http_requests_total{route="/quote",method="POST"}'
+            ]
+            >= 1.0
+        )
+        assert "repro_server_uptime_seconds" in parsed
+        assert "repro_open_quotes" in parsed
+        # Satellite: the Kupfer bundle-vs-separate diagnostic as a gauge.
+        diag = obs_solution.diagnostics()
+        if diag["bundle_vs_separate_ratio"] is not None:
+            assert parsed["repro_solution_bundle_vs_separate_ratio"]["samples"][
+                "repro_solution_bundle_vs_separate_ratio"
+            ] == pytest.approx(diag["bundle_vs_separate_ratio"])
+
+    def test_counters_monotonic_across_scrapes(self, obs_solution, obs_rows):
+        obs.enable_metrics()
+
+        async def main():
+            server = QuoteServer(obs_solution, batch_window=0.0)
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                await _post_quote(host, port, obs_rows)
+                _, _, first = await _raw_get(host, port, "/metrics")
+                await _post_quote(host, port, obs_rows)
+                _, _, second = await _raw_get(host, port, "/metrics")
+                return first, second
+            finally:
+                await server.stop()
+
+        first, second = asyncio.run(main())
+        before, after = parse_exposition(first), parse_exposition(second)
+        for name, family in before.items():
+            if family["type"] != "counter":
+                continue
+            for key, value in family["samples"].items():
+                assert after[name]["samples"].get(key, 0.0) >= value, key
+
+
+# ============================================================== diagnostics
+class TestSolutionDiagnostics:
+    def test_keys_and_consistency(self, obs_solution):
+        diag = obs_solution.diagnostics()
+        expected = {
+            "bundle_revenue",
+            "separate_revenue",
+            "bundle_vs_separate_ratio",
+            "bundle_revenue_share",
+            "n_bundle_offers",
+            "n_single_offers",
+            "max_bundle_size",
+            "mean_bundle_size",
+        }
+        assert expected <= set(diag)
+        total_offers = diag["n_bundle_offers"] + diag["n_single_offers"]
+        assert total_offers == len(obs_solution.configuration)
+        if diag["separate_revenue"] > 0:
+            assert diag["bundle_vs_separate_ratio"] == pytest.approx(
+                diag["bundle_revenue"] / diag["separate_revenue"]
+            )
+        else:
+            assert diag["bundle_vs_separate_ratio"] is None
+
+    def test_single_only_menu_has_no_ratio_divide_by_zero(self, small_wtp):
+        solution = BundlingSolver("components", EngineConfig(theta=0.99)).fit(
+            small_wtp
+        )
+        diag = solution.diagnostics()
+        if diag["n_single_offers"] == 0:
+            assert diag["separate_revenue"] == 0.0
+            assert diag["bundle_vs_separate_ratio"] is None

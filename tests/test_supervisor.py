@@ -477,3 +477,93 @@ class TestFleetServing:
         assert quote[0] == 200
         _assert_payload_identical(quote[2], cold)
         assert refused is not None  # listener is gone after the drain
+
+
+async def _raw_get(host, port, path):
+    """One GET returning the raw (non-JSON) body — for /metrics scrapes."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: 0\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        head = (await reader.readuntil(b"\r\n\r\n")).split(b"\r\n")
+        status = int(head[0].split()[1])
+        headers = {}
+        for line in head[1:]:
+            if b":" in line:
+                name, _, value = line.partition(b":")
+                headers[name.strip().lower().decode()] = value.strip().decode()
+        body = await reader.readexactly(int(headers.get("content-length", 0)))
+        return status, headers, body.decode("utf-8")
+    finally:
+        writer.close()
+
+
+class TestFleetObservability:
+    def test_healthz_shape_exposes_slot_history(self, fleet_solutions):
+        """/healthz carries in_flight plus durable per-slot crash history."""
+        _, _, first_path, _ = fleet_solutions
+        fleet = ServingSupervisor(first_path, workers=2)
+        health = fleet.health()
+        assert health["in_flight"] == 0
+        for worker in health["workers"]:
+            assert worker["spawn_retries"] == 0
+            assert worker["respawns"] == 0
+            assert "breaker" in worker and "active" in worker
+
+    def test_fleet_metrics_aggregates_worker_snapshots(
+        self, fleet_solutions, request_blocks
+    ):
+        """GET /metrics merges every worker's series under a worker label."""
+        from repro import obs
+        from repro.obs.metrics import parse_exposition
+
+        first, _, first_path, _ = fleet_solutions
+        obs.enable_metrics()
+
+        async def main():
+            fleet = ServingSupervisor(
+                first_path, workers=2, heartbeat_interval=0.1
+            )
+            host, port = await fleet.start("127.0.0.1", 0)
+            try:
+                for rows in request_blocks[:3]:
+                    status, _, _ = await _request(
+                        host, port, "POST", "/quote", {"rows": rows.tolist()}
+                    )
+                    assert status == 200
+                # The quote counters ride the *next* heartbeat after the
+                # quotes land, so poll the scrape until they show up.
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while True:
+                    scrape = await _raw_get(host, port, "/metrics")
+                    if 'repro_quotes_total{worker="' in scrape[2]:
+                        return scrape
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise AssertionError(
+                            "worker quote counters never reached the scrape"
+                        )
+                    await asyncio.sleep(0.05)
+            finally:
+                await fleet.stop()
+
+        status, headers, text = asyncio.run(main())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        parsed = parse_exposition(text)
+        fleet_samples = parsed["repro_fleet_requests_total"]["samples"]
+        assert fleet_samples["repro_fleet_requests_total"] >= 3.0
+        assert parsed["repro_fleet_workers_ready"]["samples"][
+            "repro_fleet_workers_ready"
+        ] == 2.0
+        breaker = parsed["repro_worker_breaker_state"]["samples"]
+        assert breaker['repro_worker_breaker_state{slot="0"}'] == 0.0
+        assert breaker['repro_worker_breaker_state{slot="1"}'] == 0.0
+        # Worker-side series carry the injected worker label, and the
+        # fleet-wide sum accounts for every routed quote.
+        quotes = parsed["repro_quotes_total"]["samples"]
+        worker_keys = [k for k in quotes if 'worker="' in k]
+        assert worker_keys
+        assert sum(quotes[k] for k in worker_keys) >= 3.0
