@@ -11,6 +11,16 @@ Commands
     Price a batch of users against a solution saved by ``bundle
     --save-solution`` — the online serving path: no bundling algorithm
     runs, the menu is fixed, only the consumers change.
+``refit``
+    Incrementally update a saved solution across a population delta
+    (users added/removed) without re-running the bundling algorithm:
+    the menu's bundles keep their structure and are warm re-priced on
+    the post-delta population in O(|delta| log M) per bundle.  When the
+    revenue drift exceeds ``--drift-threshold`` the command falls back
+    to a full cold ``fit`` on the new population (bit-identical to
+    ``bundle`` on it).  Requires the fitted population (``--wtp``, an
+    ``.npz`` written by ``--save-population``/:func:`save_wtp_npz`) and
+    a delta JSON (``{"removed": [...], "added": [[...], ...]}``).
 ``experiment``
     Regenerate one of the paper's tables/figures and print it.
 ``generate``
@@ -21,6 +31,9 @@ Commands
     solution: warm precomputed state, micro-batched quoting (bit-identical
     to ``repro quote``), per-request deadlines, bounded admission with
     explicit load shedding, and coherent hot reload via ``POST /reload``.
+    With ``--wtp population.npz`` the server also accepts incremental
+    ``POST /refit`` requests: warm-started re-pricing across a
+    population delta, off the event loop, swapped in atomically.
     With ``--workers N`` (N >= 2) the supervised fleet runs instead: N
     worker processes sharing one menu copy via shared memory, crash
     respawn with backoff, per-worker circuit breakers, rolling
@@ -57,7 +70,10 @@ Examples
     python -m repro bundle --checkpoint fit.ckpt --save-solution menu.json
     python -m repro bundle --checkpoint fit.ckpt --resume --save-solution menu.json
     python -m repro quote --solution menu.json --ratings new_users.csv --prices p.csv
+    python -m repro refit --solution menu.json --wtp pop.npz --delta delta.json \\
+        --save-solution menu2.json --save-population pop2.npz
     python -m repro serve --solution menu.json --port 8707 --deadline 0.5
+    python -m repro serve --solution menu.json --wtp pop.npz --port 8707
     python -m repro serve --solution menu.json --workers 4 --drain-timeout 5
     python -m repro experiment table2
     python -m repro generate --users 500 --items 80 --out-ratings r.csv --out-prices p.csv
@@ -205,6 +221,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "(deterministic adoption), band = O(T'*M) reference; "
              "default: the engine's auto resolution",
     )
+    backend.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="X",
+        help="revenue-drift ceiling for warm `repro refit` on this "
+             "solution: past it the refit falls back to a full cold fit "
+             "(default 0.05; serialized with the solution's provenance)",
+    )
 
     quote = sub.add_parser(
         "quote", help="price users against a saved solution (no re-fitting)"
@@ -215,12 +237,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(quote, conversion_default=None)
 
+    refit = sub.add_parser(
+        "refit",
+        help="incrementally re-price a saved solution across a population "
+             "delta (warm start; drift-gated cold fallback)",
+    )
+    refit.add_argument(
+        "--solution", required=True, metavar="PATH",
+        help="solution JSON written by `repro bundle --save-solution`",
+    )
+    refit.add_argument(
+        "--wtp", required=True, metavar="PATH",
+        help="the fitted population as .npz (WTPMatrix.save_npz); the delta "
+             "applies against it",
+    )
+    refit.add_argument(
+        "--delta", required=True, metavar="PATH",
+        help='population delta JSON: {"removed": [user indices], '
+             '"added": [[wtp row], ...]}',
+    )
+    refit.add_argument(
+        "--save-solution", metavar="PATH", default=None,
+        help="persist the refit solution (warm or cold) as JSON",
+    )
+    refit.add_argument(
+        "--save-population", metavar="PATH", default=None,
+        help="persist the post-delta population as .npz for the next refit",
+    )
+    refit.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="X",
+        help="override the solution's serialized drift threshold for this "
+             "refit only",
+    )
+
     serve = sub.add_parser(
         "serve", help="run the persistent quote server over a saved solution"
     )
     serve.add_argument(
         "--solution", required=True, metavar="PATH",
         help="solution JSON written by `repro bundle --save-solution`",
+    )
+    serve.add_argument(
+        "--wtp", metavar="PATH", default=None,
+        help="the fitted population as .npz: enables incremental POST "
+             "/refit (without it the endpoint answers 400)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -341,6 +401,8 @@ def _engine_config(args) -> EngineConfig:
         config_kwargs["state_dtype"] = args.state_dtype
     if args.mixed_kernel is not None:
         config_kwargs["mixed_kernel"] = args.mixed_kernel
+    if getattr(args, "drift_threshold", None) is not None:
+        config_kwargs["drift_threshold"] = args.drift_threshold
     return EngineConfig(**config_kwargs)
 
 
@@ -474,6 +536,67 @@ def _command_quote(args) -> int:
     return 0
 
 
+def _command_refit(args) -> int:
+    import json
+
+    from repro.api import PopulationDelta
+    from repro.data.loaders import load_wtp_npz, save_wtp_npz
+
+    try:
+        solution = BundlingSolution.load(args.solution)
+    except (OSError, ValueError, KeyError, ReproError) as exc:
+        print(f"error: cannot load solution {args.solution}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        wtp = load_wtp_npz(args.wtp)
+    except (OSError, ValueError, KeyError, ReproError) as exc:
+        print(f"error: cannot load population {args.wtp}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.delta, encoding="utf-8") as handle:
+            delta = PopulationDelta.from_dict(json.load(handle))
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: cannot load delta {args.delta}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        solver = BundlingSolver(solution.algorithm_spec, solution.engine_config)
+        report = solver.refit(
+            solution, wtp, delta, drift_threshold=args.drift_threshold
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+
+    result = report.solution
+    print(f"solution: {solution.algorithm} ({solution.strategy}), "
+          f"{len(solution.configuration)} offers over {solution.n_items} items")
+    n_users = wtp.n_users - report.n_removed + report.n_added
+    print(f"delta: +{report.n_added} users, -{report.n_removed} users "
+          f"-> {n_users} users")
+    print(f"refit mode: {report.mode} "
+          f"(drift {report.drift:.4g}, threshold {report.threshold:.4g})")
+    print(f"expected revenue: {result.expected_revenue:.2f} "
+          f"(hex {float(result.expected_revenue).hex()})")
+    print(f"warm re-pricing took {report.warm_elapsed:.3f}s")
+    if args.save_solution:
+        try:
+            path = result.save(args.save_solution)
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot save solution to {args.save_solution}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"solution saved to {path}")
+    if args.save_population:
+        try:
+            save_wtp_npz(delta.apply(wtp), args.save_population)
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot save population to {args.save_population}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"post-delta population saved to {args.save_population}")
+    return 0
+
+
 def _command_serve(args) -> int:
     import asyncio
 
@@ -497,6 +620,7 @@ def _command_serve(args) -> int:
             batch_window=args.batch_window,
             max_batch=args.max_batch,
             read_timeout=args.read_timeout,
+            population=args.wtp,
         )
     except (OSError, ReproError) as exc:
         print(f"error: cannot serve {args.solution}: {exc}", file=sys.stderr)
@@ -508,6 +632,10 @@ def _command_serve(args) -> int:
               f"items) on http://{host}:{port}")
         print(f"solution fingerprint: {server.fingerprint}")
         endpoints = "POST /quote, POST /reload, GET /healthz, GET /readyz"
+        if args.wtp:
+            endpoints = endpoints.replace(
+                "POST /reload", "POST /reload, POST /refit"
+            )
         if args.metrics:
             endpoints += ", GET /metrics"
         print(f"endpoints: {endpoints}")
@@ -550,6 +678,7 @@ def _serve_fleet(args) -> int:
             breaker_threshold=args.breaker_threshold,
             drain_timeout=args.drain_timeout,
             trace_log=args.trace_log,
+            population=args.wtp,
         )
     except ReproError as exc:
         print(f"error: cannot serve {args.solution}: {exc}", file=sys.stderr)
@@ -559,6 +688,10 @@ def _serve_fleet(args) -> int:
         print(f"serving fleet of {args.workers} workers on http://{host}:{port}")
         print(f"solution fingerprint: {supervisor.fingerprint}")
         endpoints = "POST /quote, POST /reload, GET /healthz, GET /readyz"
+        if args.wtp:
+            endpoints = endpoints.replace(
+                "POST /reload", "POST /reload, POST /refit"
+            )
         if args.metrics:
             endpoints += ", GET /metrics"
         print(f"endpoints: {endpoints}")
@@ -625,6 +758,8 @@ def main(argv=None) -> int:
         return _command_bundle(args)
     if args.command == "quote":
         return _command_quote(args)
+    if args.command == "refit":
+        return _command_refit(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "experiment":

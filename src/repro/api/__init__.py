@@ -7,8 +7,11 @@ The one entry point for using the system end to end:
 * :class:`AlgorithmSpec` — a registry algorithm name with
   signature-validated kwargs;
 * :class:`BundlingSolver` — ``fit(wtp) -> BundlingSolution``, with
-  iteration-boundary checkpointing (``checkpoint_path=``) and
-  crash recovery via :meth:`BundlingSolver.resume`;
+  iteration-boundary checkpointing (``checkpoint_path=``), crash
+  recovery via :meth:`BundlingSolver.resume`, and incremental
+  :meth:`BundlingSolver.refit` across a :class:`PopulationDelta`
+  (warm-started re-pricing with a drift-gated cold fallback,
+  returning a :class:`RefitReport`);
 * :class:`BundlingSolution` — the durable artifact: configuration,
   provenance, metrics; ``save``/``load`` (bit-exact JSON),
   ``quote(new_user_wtp)`` and ``evaluate(engine)`` for serving;
@@ -33,7 +36,8 @@ from repro.api.solution import (
     BundlingSolution,
     QuoteResult,
 )
-from repro.api.solver import DEFAULT_ALGORITHM, BundlingSolver
+from repro.api.solver import DEFAULT_ALGORITHM, BundlingSolver, RefitReport
+from repro.core.delta import PopulationDelta
 from repro.core.retry import DegradedExecutionWarning, RetryPolicy
 
 __all__ = [
@@ -47,7 +51,9 @@ __all__ = [
     "DegradedExecutionWarning",
     "EngineConfig",
     "FitCheckpoint",
+    "PopulationDelta",
     "QuoteResult",
+    "RefitReport",
     "RetryPolicy",
     "SOLUTION_FORMAT_VERSION",
 ]

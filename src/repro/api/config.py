@@ -50,7 +50,11 @@ from repro.core.pricing import (
     resolve_mixed_kernel,
 )
 from repro.core.retry import RetryPolicy
-from repro.core.revenue import RevenueEngine
+from repro.core.revenue import (
+    DEFAULT_DRIFT_THRESHOLD,
+    RevenueEngine,
+    check_drift_threshold,
+)
 from repro.errors import ValidationError
 from repro.utils.validation import (
     check_non_negative,
@@ -185,7 +189,9 @@ class EngineConfig:
     engine's per-catalogue default); ``retry`` is a
     :class:`~repro.core.retry.RetryPolicy` (or its dict form) governing
     scan retries, timeouts, and executor degradation (``None`` uses the
-    engine's default policy).
+    engine's default policy); ``drift_threshold`` is the relative revenue
+    drift beyond which a warm ``refit`` falls back to a cold ``fit``
+    (see :meth:`~repro.api.solver.BundlingSolver.refit`).
     """
 
     theta: float = 0.0
@@ -200,6 +206,7 @@ class EngineConfig:
     mixed_kernel: str = "auto"
     raw_cache_entries: int | None = None
     retry: RetryPolicy | None = None
+    drift_threshold: float = DEFAULT_DRIFT_THRESHOLD
 
     def __post_init__(self) -> None:
         theta = float(self.theta)
@@ -243,6 +250,9 @@ class EngineConfig:
                 f"{type(retry).__name__}"
             )
         object.__setattr__(self, "retry", retry)
+        object.__setattr__(
+            self, "drift_threshold", check_drift_threshold(self.drift_threshold)
+        )
         # Fail unusable combinations at construction, mirroring the engine's
         # own eager checks: an explicit sorted kernel cannot serve a
         # stochastic adoption model.
@@ -269,6 +279,7 @@ class EngineConfig:
             state_dtype=self.state_dtype,
             mixed_kernel=self.mixed_kernel,
             retry=self.retry,
+            drift_threshold=self.drift_threshold,
         )
 
     @classmethod
@@ -307,6 +318,7 @@ class EngineConfig:
             mixed_kernel=engine.mixed_kernel,
             raw_cache_entries=None if cache_entries == default_cache else cache_entries,
             retry=None if engine.retry == RetryPolicy() else engine.retry,
+            drift_threshold=engine.drift_threshold,
         )
 
     # -------------------------------------------------------- serialization
@@ -324,6 +336,7 @@ class EngineConfig:
             "mixed_kernel": self.mixed_kernel,
             "raw_cache_entries": self.raw_cache_entries,
             "retry": None if self.retry is None else self.retry.to_dict(),
+            "drift_threshold": self.drift_threshold,
         }
 
     @classmethod

@@ -853,6 +853,25 @@ class LRUArrayCache:
         with self._lock:
             return self._store.pop(key, default)
 
+    def remap(self, fn) -> int:
+        """Rewrite every cached array in place via ``fn(key, value)``.
+
+        Entries keep their recency order, so a population delta can patch
+        the cached raw-WTP vectors (delete departed rows, append arrivals)
+        instead of discarding a warm cache — ``fn`` returning ``None``
+        drops that entry.  Returns the number of entries rewritten.
+        """
+        with self._lock:
+            rewritten = 0
+            for key in list(self._store):
+                value = fn(key, self._store[key])
+                if value is None:
+                    del self._store[key]
+                else:
+                    self._store[key] = value
+                    rewritten += 1
+            return rewritten
+
     def clear(self) -> None:
         with self._lock:
             self._store.clear()

@@ -216,10 +216,57 @@ def price_pure(
     if wtp.size == 0:
         return PricedBundle(placeholder, 0.0, 0.0, 0.0)
     effective = adoption.alpha * wtp + adoption.epsilon
+    if adoption.is_deterministic:
+        # The deterministic scan works off the sorted order anyway (see
+        # _expected_buyers), so it shares one code path with incremental
+        # callers that maintain the sorted array across population deltas.
+        return price_pure_sorted(
+            np.sort(effective), adoption, grid, bundle=placeholder
+        )
     levels = grid.candidates(effective)
     if levels.size == 0:
         return PricedBundle(placeholder, 0.0, 0.0, 0.0)
     buyers = _expected_buyers(effective, levels, adoption)
+    revenue = levels * buyers
+    best = int(np.argmax(revenue))  # argmax returns the first (lowest) level on ties
+    if revenue[best] <= 0:
+        return PricedBundle(placeholder, 0.0, 0.0, 0.0)
+    return PricedBundle(placeholder, float(levels[best]), float(revenue[best]), float(buyers[best]))
+
+
+def price_pure_sorted(
+    sorted_effective: np.ndarray,
+    adoption: AdoptionModel | None = None,
+    grid: PriceGrid | None = None,
+    bundle: Bundle | None = None,
+) -> PricedBundle:
+    """:func:`price_pure` from a pre-sorted in-market effective-WTP array.
+
+    ``sorted_effective`` holds the ascending per-user ``α·w + ε`` values of
+    the consumers with positive bundle WTP.  The level grid, the
+    ``LEVEL_RTOL`` slack, and the tie-break all use the same arithmetic as
+    :func:`price_pure` — which delegates its deterministic branch here — so
+    a caller that maintains the sorted array incrementally (one
+    sorted-delete/insert per population delta; the sorted order of a float
+    multiset does not depend on how it was reached) gets prices, revenues,
+    and buyer counts bit-identical to a cold re-price.  Deterministic
+    adoption only: the sigmoid expectation sums users in population order.
+    """
+    adoption = adoption or StepAdoption()
+    grid = grid or PriceGrid()
+    if not adoption.is_deterministic:
+        raise PricingError(
+            "price_pure_sorted requires a deterministic adoption model"
+        )
+    placeholder = bundle if bundle is not None else Bundle.of(0)
+    effective = np.asarray(sorted_effective, dtype=np.float64)
+    if effective.size == 0:
+        return PricedBundle(placeholder, 0.0, 0.0, 0.0)
+    levels = grid.candidates(effective)
+    if levels.size == 0:
+        return PricedBundle(placeholder, 0.0, 0.0, 0.0)
+    compare = levels - LEVEL_RTOL * (1.0 + np.abs(levels))
+    buyers = effective.size - np.searchsorted(effective, compare, side="left")
     revenue = levels * buyers
     best = int(np.argmax(revenue))  # argmax returns the first (lowest) level on ties
     if revenue[best] <= 0:

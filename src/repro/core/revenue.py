@@ -37,6 +37,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.adoption import AdoptionModel, StepAdoption
 from repro.core.kernels import (
     DEFAULT_CHUNK_ELEMENTS,
@@ -82,6 +83,28 @@ def default_raw_cache_entries(n_items: int) -> int:
     return max(2 * n_items, 128)
 
 
+#: Default relative drift at which a warm refit gives up and re-optimizes
+#: from scratch: the larger of the expected-revenue delta and the
+#: bundle-vs-separate-ratio delta of the warm menu, relative to the
+#: solution it warm-started from (see ``BundlingSolver.refit``).
+DEFAULT_DRIFT_THRESHOLD = 0.05
+
+
+def check_drift_threshold(drift_threshold: float) -> float:
+    """Validate a refit drift threshold (finite, non-negative)."""
+    try:
+        value = float(drift_threshold)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"drift_threshold must be a non-negative float, got {drift_threshold!r}"
+        ) from None
+    if not np.isfinite(value) or value < 0:
+        raise ValidationError(
+            f"drift_threshold must be a non-negative float, got {drift_threshold!r}"
+        )
+    return value
+
+
 @dataclass
 class EngineStats:
     """Operation counters for the efficiency experiments."""
@@ -89,11 +112,13 @@ class EngineStats:
     pure_pricings: int = 0
     mixed_pricings: int = 0
     batch_calls: int = 0
+    deltas_applied: int = 0
 
     def reset(self) -> None:
         self.pure_pricings = 0
         self.mixed_pricings = 0
         self.batch_calls = 0
+        self.deltas_applied = 0
 
 
 @dataclass(frozen=True)
@@ -205,6 +230,12 @@ class RevenueEngine:
         aborting the fit.  Every retry and fallback path is bit-identical
         to the serial scan — the chunk schedule and arithmetic never depend
         on the executor.
+    drift_threshold:
+        Relative revenue drift at which a warm ``refit`` falls back to a
+        cold fit (see :meth:`repro.api.BundlingSolver.refit`).  Carried on
+        the engine so :meth:`repro.api.EngineConfig.from_engine` captures
+        it like every other config field; :meth:`apply_delta` itself never
+        consults it.
     """
 
     def __init__(
@@ -223,6 +254,7 @@ class RevenueEngine:
         mixed_kernel: str = "auto",
         executor: str = "thread",
         retry: RetryPolicy | dict | None = None,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
     ) -> None:
         if not isinstance(wtp, WTPMatrix):
             wtp = WTPMatrix(wtp)
@@ -241,6 +273,7 @@ class RevenueEngine:
         self.retry = check_retry_policy(retry)
         self.state_dtype = np.dtype(_resolve_dtype(state_dtype))
         self.mixed_kernel = check_mixed_kernel(mixed_kernel)
+        self.drift_threshold = check_drift_threshold(drift_threshold)
         # Resolve "auto" eagerly: an explicit "sorted" request the engine
         # can never honour — stochastic adoption, or a non-linspace grid
         # (whose mixed path runs the scalar reference loop) — should fail
@@ -302,6 +335,52 @@ class RevenueEngine:
         for bundle in bundles:
             self._raw_cache.pop(bundle, None)
             self._price_cache.pop(bundle, None)
+
+    # ------------------------------------------------------- population churn
+    def apply_delta(self, delta) -> None:
+        """Advance the engine to the post-delta population in place.
+
+        Swaps in the new WTP matrix and invalidates exactly the caches the
+        population touches.  Optimal prices are population-dependent (any
+        user can move a bundle's grid top), so the price cache is cleared;
+        the packed item-support words are rebuilt lazily; the raw-WTP LRU
+        entries are *patched* rather than dropped — a raw vector is a
+        per-user sum, so a delta is a row delete/append, and the patched
+        entry is bit-identical to recomputing it on the merged population.
+        Derived subtree states (:meth:`offer_state`,
+        :meth:`merged_mixed_state`) are built from these caches on demand
+        and need no separate invalidation.
+        """
+        from repro.core.delta import PopulationDelta
+
+        if not isinstance(delta, PopulationDelta):
+            raise ValidationError(
+                f"apply_delta expects a PopulationDelta, got {type(delta).__name__}"
+            )
+        delta.check(self.n_users, self.n_items)
+        added = delta.added_matrix(self.wtp)
+        new_wtp = self.wtp.apply_delta(
+            delta.removed, delta.added if delta.n_added else None
+        )
+        removed = np.asarray(delta.removed, dtype=np.intp)
+
+        def patch(bundle, raw):
+            vector = raw
+            if removed.size:
+                vector = np.delete(vector, removed)
+            if added is not None:
+                vector = np.concatenate([vector, added.raw_sum(bundle.items)])
+            return vector
+
+        self._raw_cache.remap(patch)
+        self.wtp = new_wtp
+        self._price_cache.clear()
+        self._item_bits = None
+        self.stats.deltas_applied += 1
+        obs.counter_inc(
+            "repro_engine_deltas_total",
+            help="Population deltas applied to a revenue engine.",
+        )
 
     # ---------------------------------------------------------- pure pricing
     def price_bundle(self, bundle: Bundle) -> PricedBundle:

@@ -433,6 +433,55 @@ class WTPMatrix:
             dtype=self._dtype,
         )
 
+    def apply_delta(self, removed: Sequence[int], added=None) -> "WTPMatrix":
+        """Population churn: drop user rows, append new ones (same backend).
+
+        ``removed`` holds indices into the *current* population; ``added``
+        is an optional ``(n_added, n_items)`` array-like of new rows.
+        Retained users keep their relative order and the added rows are
+        appended after them, so every retained user's row — and with it any
+        per-user aggregate (:meth:`raw_sum`, :meth:`support_mask`) — is
+        bit-identical to the pre-delta matrix.  This is the matrix-level
+        primitive behind :class:`repro.core.delta.PopulationDelta`.
+        """
+        removed = list(removed)
+        if len(set(removed)) != len(removed):
+            raise ValidationError("removed user indices must be unique")
+        for user in removed:
+            if not 0 <= int(user) < self.n_users:
+                raise ValidationError(
+                    f"removed user index {user} out of range for {self.n_users} users"
+                )
+        keep = np.ones(self.n_users, dtype=bool)
+        if removed:
+            keep[np.asarray(removed, dtype=np.intp)] = False
+        if added is not None:
+            added = np.asarray(added, dtype=np.float64)
+            if added.ndim != 2 or (added.size and added.shape[1] != self.n_items):
+                raise ValidationError(
+                    f"added rows must have shape (n, {self.n_items}), "
+                    f"got {added.shape}"
+                )
+        if not np.any(keep) and (added is None or added.shape[0] == 0):
+            raise ValidationError("a delta may not remove the entire population")
+        if self._csc is not None:
+            sp = _scipy_sparse()
+            parts = [self._csc.tocsr()[np.flatnonzero(keep), :]]
+            if added is not None and added.shape[0]:
+                parts.append(sp.csr_array(added.astype(self._dtype)))
+            source = sp.vstack(parts, format="csc") if len(parts) > 1 else parts[0]
+        else:
+            parts = [self._values[keep]]
+            if added is not None and added.shape[0]:
+                parts.append(added.astype(self._dtype))
+            source = np.vstack(parts) if len(parts) > 1 else parts[0]
+        return WTPMatrix(
+            source,
+            item_labels=self._item_labels,
+            storage=self._storage,
+            dtype=self._dtype,
+        )
+
     def clone_users(self, factor: int) -> "WTPMatrix":
         """Stack *factor* copies of the user population (Section 6.3).
 

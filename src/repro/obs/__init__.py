@@ -21,6 +21,7 @@ from typing import Sequence
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
+    REFIT_DURATION_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "EXPOSITION_CONTENT_TYPE",
+    "REFIT_DURATION_BUCKETS",
     "enable_metrics",
     "disable_metrics",
     "metrics_registry",

@@ -33,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "REFIT_DURATION_BUCKETS",
     "render_snapshots",
     "parse_exposition",
 ]
@@ -49,6 +50,12 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 
 #: Power-of-two size buckets for batch sizes and chunk counts.
 DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Refit wall-clock buckets: a warm incremental refit lands in the
+#: millisecond range, a drift-triggered cold fit can run for minutes.
+REFIT_DURATION_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+)
 
 
 def _escape_label_value(value: str) -> str:

@@ -26,6 +26,14 @@ Endpoints::
                    -> 200 old/new fingerprints; failure keeps old state
                    -> 409 ReloadConflictError (another reload in flight;
                       payload names its target path)
+    POST /refit    {"delta": {"removed": [...], "added": [[...], ...]},
+                    "drift_threshold": optional}
+                   -> 200 old/new fingerprints + refit mode/drift; the
+                      warm-refitted (or drift-triggered cold) solution is
+                      swapped in atomically, exactly like /reload
+                   -> 400 ValidationError (bad delta, or the server was
+                      started without the fitted population)
+                   -> 409 ReloadConflictError (a reload/refit in flight)
     GET  /healthz  -> 200 live counters (queue depth, sheds, degraded
                       batches, reloads) — real state, not heuristics;
                       ``status`` is "draining" once close/drain begins
@@ -228,6 +236,13 @@ class QuoteServer:
     read_timeout:
         Per-connection budget (seconds) for reading one full request;
         exceeding it answers 408 and closes the connection.
+    population:
+        The WTP population the solution was fitted on — a
+        :class:`~repro.core.wtp.WTPMatrix`, a dense array, or a path to a
+        ``.npz`` written by :func:`repro.data.save_wtp_npz`.  Required for
+        ``POST /refit`` (the incremental warm refit re-prices the menu
+        against it); successive refits advance it in memory so deltas
+        compound.  ``None`` (default) disables ``/refit`` with a 400.
     """
 
     def __init__(
@@ -241,6 +256,7 @@ class QuoteServer:
         retry: RetryPolicy | dict | None = None,
         read_timeout: float = 5.0,
         max_body_bytes: int = DEFAULT_MAX_BODY,
+        population=None,
     ) -> None:
         if not (float(deadline) > 0):
             raise ValidationError(f"deadline must be positive, got {deadline!r}")
@@ -254,6 +270,16 @@ class QuoteServer:
         self._state: ServingState | None = None
         if solution is not None:
             self._state = self._coerce_state(solution)
+        self._population = self._coerce_population(population)
+        if (
+            self._population is not None
+            and self._state is not None
+            and self._population.n_items != self._state.n_items
+        ):
+            raise ValidationError(
+                f"refit population has {self._population.n_items} items; the "
+                f"serving solution was fitted on {self._state.n_items}"
+            )
         self.admission = AdmissionQueue(queue_depth)
         if retry is None:
             retry = RetryPolicy(max_attempts=3, backoff=0.01, degrade=True)
@@ -288,8 +314,23 @@ class QuoteServer:
         self.reloads = 0
         self.reload_failures = 0
         self.last_reload_error: str | None = None
+        self.refits = 0
+        self.refit_failures = 0
+        self.last_refit_error: str | None = None
 
     # ----------------------------------------------------------------- state
+    @staticmethod
+    def _coerce_population(source):
+        if source is None:
+            return None
+        from repro.core.wtp import WTPMatrix
+
+        if isinstance(source, WTPMatrix):
+            return source
+        if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+            return WTPMatrix.load_npz(source)
+        return WTPMatrix(source)
+
     @staticmethod
     def _coerce_state(source) -> ServingState:
         if isinstance(source, ServingState):
@@ -544,6 +585,110 @@ class QuoteServer:
             finally:
                 self._reload_target = None
 
+    # ----------------------------------------------------------------- refit
+    def _refit_offline(self, delta, drift_threshold):
+        """The blocking half of :meth:`refit` (runs in the executor).
+
+        Returns ``(report, new_state, new_population)`` — everything the
+        event loop needs to make the single-reference swap.
+        """
+        from repro.api.solver import BundlingSolver
+        from repro.core.delta import PopulationDelta
+
+        population = self._population
+        if population is None:
+            raise ValidationError(
+                "refit requires the fitted population; start the server with "
+                "population= (CLI: serve --wtp population.npz)"
+            )
+        state = self._state
+        if state is None:
+            raise ServingError("no solution loaded; POST /reload one first")
+        if isinstance(delta, dict):
+            delta = PopulationDelta.from_dict(delta)
+        if not isinstance(delta, PopulationDelta):
+            raise ValidationError(
+                f"refit delta must be a PopulationDelta or dict, got "
+                f"{type(delta).__name__}"
+            )
+        solver = BundlingSolver(
+            state.solution.algorithm_spec, state.solution.engine_config
+        )
+        report = solver.refit(
+            state.solution, population, delta, drift_threshold=drift_threshold
+        )
+        return report, ServingState(report.solution), delta.apply(population)
+
+    async def refit(self, delta, drift_threshold: float | None = None) -> dict:
+        """Warm-refit the serving solution across a population delta.
+
+        Runs :meth:`BundlingSolver.refit` off-loop (the solver is rebuilt
+        from the serving solution's own provenance), then swaps the
+        refitted state in with the same single-reference discipline as
+        :meth:`reload` — under the same lock, so a refit and a reload can
+        never interleave (the loser gets 409).  On success the in-memory
+        population advances past the delta, so successive refits compound.
+        Failure anywhere leaves both the old state and the old population
+        serving, untouched.
+        """
+        lock = self._reload_lock
+        if lock is None:
+            self._reload_lock = lock = asyncio.Lock()
+        if lock.locked():
+            raise ReloadConflictError(self._reload_target)
+        async with lock:
+            self._reload_target = "refit"
+            loop = asyncio.get_running_loop()
+            started = time.monotonic()
+            try:
+                try:
+                    report, new_state, new_population = await loop.run_in_executor(
+                        None, self._refit_offline, delta, drift_threshold
+                    )
+                except (ReproError, OSError) as exc:
+                    self.refit_failures += 1
+                    self.last_refit_error = str(exc)
+                    obs.counter_inc(
+                        "repro_refit_failures_total",
+                        help="Refits that failed before the state swap.",
+                    )
+                    raise
+                previous = self._state
+                self._state = new_state
+                self._population = new_population
+                self.refits += 1
+                self.last_refit_error = None
+                elapsed = time.monotonic() - started
+                obs.counter_inc(
+                    "repro_refit_total",
+                    help="Refits applied, by warm/cold mode.",
+                    labelnames=("mode",),
+                    mode=report.mode,
+                )
+                obs.observe(
+                    "repro_refit_duration_seconds",
+                    elapsed,
+                    help="Wall time per refit (warm re-price plus any cold fallback).",
+                    buckets=obs.REFIT_DURATION_BUCKETS,
+                )
+                return {
+                    "previous_fingerprint": (
+                        None if previous is None else previous.fingerprint
+                    ),
+                    "fingerprint": new_state.fingerprint,
+                    "mode": report.mode,
+                    "drift": (
+                        float(report.drift) if math.isfinite(report.drift) else None
+                    ),
+                    "threshold": report.threshold,
+                    "n_added": report.n_added,
+                    "n_removed": report.n_removed,
+                    "n_users": new_population.n_users,
+                    "expected_revenue": report.solution.expected_revenue,
+                }
+            finally:
+                self._reload_target = None
+
     # ---------------------------------------------------------------- health
     def health(self) -> dict:
         """The ``/healthz`` payload — live counters, not heuristics."""
@@ -581,8 +726,12 @@ class QuoteServer:
                 "read_timeouts": self.read_timeouts,
                 "reloads": self.reloads,
                 "reload_failures": self.reload_failures,
+                "refits": self.refits,
+                "refit_failures": self.refit_failures,
             },
         }
+        if self._population is not None:
+            payload["population"] = {"n_users": self._population.n_users}
         if state is not None:
             payload["solution"] = {
                 "algorithm": state.algorithm,
@@ -592,6 +741,8 @@ class QuoteServer:
             }
         if self.last_reload_error is not None:
             payload["last_reload_error"] = self.last_reload_error
+        if self.last_refit_error is not None:
+            payload["last_refit_error"] = self.last_refit_error
         return payload
 
     # ------------------------------------------------------------- HTTP edge
@@ -666,7 +817,7 @@ class QuoteServer:
     #: Routes that get their own label on the per-route request series;
     #: anything else is folded into ``other`` so a scanner probing random
     #: paths cannot grow the label space without bound.
-    _METRIC_ROUTES = ("/quote", "/reload", "/healthz", "/readyz", "/metrics")
+    _METRIC_ROUTES = ("/quote", "/reload", "/refit", "/healthz", "/readyz", "/metrics")
 
     async def _dispatch(self, request, writer: asyncio.StreamWriter) -> bool:
         if not obs.metrics_enabled():
@@ -710,7 +861,7 @@ class QuoteServer:
             # becomes unobservable.
             await self._handle_metrics(writer, keep_alive)
             return keep_alive
-        if path in ("/quote", "/reload") and self.draining:
+        if path in ("/quote", "/reload", "/refit") and self.draining:
             # New work is refused once drain begins; only in-flight
             # requests (already admitted) complete.
             await self._respond(
@@ -744,6 +895,17 @@ class QuoteServer:
                 )
                 return keep_alive
             await self._handle_reload(body, writer, keep_alive)
+            return keep_alive
+        if path == "/refit":
+            if method != "POST":
+                await self._respond(
+                    writer,
+                    405,
+                    {"error": "MethodNotAllowed", "message": "POST /refit"},
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            await self._handle_refit(body, writer, keep_alive)
             return keep_alive
         await self._respond(
             writer,
@@ -827,6 +989,40 @@ class QuoteServer:
             {"previous_fingerprint": previous, "fingerprint": current},
             keep_alive=keep_alive,
             fingerprint=current,
+        )
+
+    async def _handle_refit(
+        self, body: bytes, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict) or "delta" not in payload:
+                raise ValidationError('refit body needs a "delta" field')
+            result = await self.refit(
+                payload["delta"], payload.get("drift_threshold")
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await self._respond(
+                writer,
+                400,
+                {"error": "ValidationError", "message": f"bad JSON body: {exc}"},
+                keep_alive=keep_alive,
+            )
+            return
+        except ReproError as exc:
+            payload = {"error": type(exc).__name__, "message": str(exc)}
+            if isinstance(exc, ReloadConflictError):
+                payload["in_flight_path"] = exc.in_flight_path
+            await self._respond(
+                writer, _status_of(exc), payload, keep_alive=keep_alive
+            )
+            return
+        await self._respond(
+            writer,
+            200,
+            result,
+            keep_alive=keep_alive,
+            fingerprint=result["fingerprint"],
         )
 
     # ---------------------------------------------------------------- metrics

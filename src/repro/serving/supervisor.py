@@ -33,6 +33,14 @@ up one bit of the serving invariant:
   stamped by exactly one of the two valid fingerprints — never a mix
   within one response, and never the old one once rotation completes.
   A concurrent reload answers 409 with the in-flight target.
+* **Incremental refit.** ``POST /refit`` (requires the fleet to be
+  started with the fitted population) runs
+  :meth:`~repro.api.solver.BundlingSolver.refit` off-loop — warm
+  incremental re-pricing with a drift-gated cold fallback — saves the
+  refitted artifact next to the current one, and rotates it in through
+  the exact rolling-reload machinery above, under the same lock (a
+  concurrent reload or refit answers 409).  On success the in-memory
+  population advances past the delta, so refits compound.
 * **Graceful drain.** First SIGTERM: stop accepting, finish in-flight
   proxied requests up to ``drain_timeout``, drain the workers, exit 0.
   Second SIGTERM aborts immediately (exit 143).
@@ -47,6 +55,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import multiprocessing
 import os
 import signal
@@ -207,10 +216,19 @@ class ServingSupervisor:
         route_budget: float = 15.0,
         drain_timeout: float = 10.0,
         trace_log: str | None = None,
+        population=None,
     ) -> None:
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ValidationError(f"workers must be a positive int, got {workers!r}")
         self._path = os.fspath(path)
+        #: Fitted-population source for /refit (path / matrix / None);
+        #: loaded lazily off-loop on the first refit.
+        self._population_source = population
+        self._population = None
+        #: Refitted artifacts are saved as ``<base>.refit<N>.json`` so the
+        #: chain never grows the filename, however many refits land.
+        self._refit_base = self._path
+        self._refit_seq = 0
         self.workers_wanted = workers
         self.heartbeat_interval = float(heartbeat_interval)
         if heartbeat_timeout is None:
@@ -264,6 +282,9 @@ class ServingSupervisor:
         self.reloads = 0
         self.reload_failures = 0
         self.last_reload_error: str | None = None
+        self.refits = 0
+        self.refit_failures = 0
+        self.last_refit_error: str | None = None
         #: In-flight client requests (the drain condition).
         self._in_flight = 0
 
@@ -915,6 +936,115 @@ class ServingSupervisor:
         self.last_reload_error = None
         return old_fingerprint, new_state.fingerprint
 
+    # ------------------------------------------------------------------ refit
+    def _refit_offline(self, delta, drift_threshold):
+        """The blocking half of :meth:`refit` (runs in the executor).
+
+        Loads the population lazily on first use, runs the solver refit,
+        saves the refitted artifact next to the base solution, and returns
+        ``(report, new_path, new_population)`` for the event loop to
+        rotate in.
+        """
+        from repro.api.solution import BundlingSolution
+        from repro.api.solver import BundlingSolver
+        from repro.core.delta import PopulationDelta
+        from repro.serving.server import QuoteServer
+
+        if self._population is None:
+            if self._population_source is None:
+                raise ValidationError(
+                    "refit requires the fitted population; start the fleet "
+                    "with population= (CLI: serve --workers N --wtp "
+                    "population.npz)"
+                )
+            self._population = QuoteServer._coerce_population(
+                self._population_source
+            )
+        if isinstance(delta, dict):
+            delta = PopulationDelta.from_dict(delta)
+        if not isinstance(delta, PopulationDelta):
+            raise ValidationError(
+                f"refit delta must be a PopulationDelta or dict, got "
+                f"{type(delta).__name__}"
+            )
+        solution = BundlingSolution.load(self._path)
+        solver = BundlingSolver(solution.algorithm_spec, solution.engine_config)
+        report = solver.refit(
+            solution, self._population, delta, drift_threshold=drift_threshold
+        )
+        self._refit_seq += 1
+        new_path = f"{self._refit_base}.refit{self._refit_seq}.json"
+        report.solution.save(new_path)
+        return report, new_path, delta.apply(self._population)
+
+    async def refit(self, delta, drift_threshold: float | None = None) -> dict:
+        """Warm-refit the fleet's solution and rotate it in without downtime.
+
+        Computes the refit off-loop, persists the refitted artifact, then
+        runs the exact :meth:`reload` rotation against it (repoint-before-
+        rotate, per-worker fingerprint verification, rollback on failure)
+        — all under the reload lock, so reloads and refits serialize and
+        the loser answers 409.  The population only advances once the
+        rotation fully lands; a failed rotation leaves both the old menu
+        and the old population serving.
+        """
+        lock = self._reload_lock
+        if lock is None:
+            self._reload_lock = lock = asyncio.Lock()
+        if lock.locked():
+            raise ReloadConflictError(self._reload_target)
+        async with lock:
+            self._reload_target = "refit"
+            loop = asyncio.get_running_loop()
+            started = time.monotonic()
+            try:
+                try:
+                    report, new_path, new_population = await loop.run_in_executor(
+                        None, self._refit_offline, delta, drift_threshold
+                    )
+                    previous, current = await self._rolling_reload(new_path)
+                except (ReloadError, ValidationError, ServingError, OSError) as exc:
+                    self.refit_failures += 1
+                    self.last_refit_error = str(exc)
+                    obs.counter_inc(
+                        "repro_refit_failures_total",
+                        help="Refits that failed before the state swap.",
+                    )
+                    raise
+                self._population = new_population
+                self.refits += 1
+                self.last_refit_error = None
+                obs.counter_inc(
+                    "repro_refit_total",
+                    help="Refits applied, by warm/cold mode.",
+                    labelnames=("mode",),
+                    mode=report.mode,
+                )
+                obs.observe(
+                    "repro_refit_duration_seconds",
+                    time.monotonic() - started,
+                    help="Wall time per refit (warm re-price plus any cold fallback).",
+                    buckets=obs.REFIT_DURATION_BUCKETS,
+                )
+                return {
+                    "previous_fingerprint": previous,
+                    "fingerprint": current,
+                    "mode": report.mode,
+                    "drift": (
+                        float(report.drift)
+                        if math.isfinite(report.drift)
+                        else None
+                    ),
+                    "threshold": report.threshold,
+                    "n_added": report.n_added,
+                    "n_removed": report.n_removed,
+                    "n_users": new_population.n_users,
+                    "expected_revenue": report.solution.expected_revenue,
+                    "path": new_path,
+                }
+            finally:
+                self._reload_target = None
+
     async def _rotate_worker(
         self, handle: WorkerHandle, path: str, blocks, expected: str
     ) -> None:
@@ -995,6 +1125,8 @@ class ServingSupervisor:
                 "spawn_retries": self.spawn_retries,
                 "reloads": self.reloads,
                 "reload_failures": self.reload_failures,
+                "refits": self.refits,
+                "refit_failures": self.refit_failures,
             },
         }
 
@@ -1058,7 +1190,7 @@ class ServingSupervisor:
             except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
                 pass
 
-    _METRIC_ROUTES = ("/quote", "/reload", "/healthz", "/readyz", "/metrics")
+    _METRIC_ROUTES = ("/quote", "/reload", "/refit", "/healthz", "/readyz", "/metrics")
     _BREAKER_STATES = {"closed": 0, "half-open": 1, "open": 2}
 
     def export_gauges(self, registry) -> None:
@@ -1170,7 +1302,7 @@ class ServingSupervisor:
                 keep_alive=keep_alive,
             )
             return keep_alive
-        if path in ("/quote", "/reload") and self.draining:
+        if path in ("/quote", "/reload", "/refit") and self.draining:
             await self._respond(
                 writer,
                 503,
@@ -1216,6 +1348,17 @@ class ServingSupervisor:
                 )
                 return keep_alive
             await self._handle_reload(body, writer, keep_alive)
+            return keep_alive
+        if path == "/refit":
+            if method != "POST":
+                await self._respond(
+                    writer,
+                    405,
+                    {"error": "MethodNotAllowed", "message": "POST /refit"},
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            await self._handle_refit(body, writer, keep_alive)
             return keep_alive
         await self._respond(
             writer,
@@ -1267,6 +1410,46 @@ class ServingSupervisor:
             {"previous_fingerprint": previous, "fingerprint": current},
             keep_alive=keep_alive,
         )
+
+    async def _handle_refit(
+        self, body: bytes, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict) or "delta" not in payload:
+                raise ValidationError('refit body needs a "delta" field')
+            result = await self.refit(
+                payload["delta"], payload.get("drift_threshold")
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await self._respond(
+                writer,
+                400,
+                {"error": "ValidationError", "message": f"bad JSON body: {exc}"},
+                keep_alive=keep_alive,
+            )
+            return
+        except ReloadConflictError as exc:
+            await self._respond(
+                writer,
+                409,
+                {
+                    "error": "ReloadConflictError",
+                    "message": str(exc),
+                    "in_flight_path": exc.in_flight_path,
+                },
+                keep_alive=keep_alive,
+            )
+            return
+        except (ReloadError, ValidationError, ServingError) as exc:
+            await self._respond(
+                writer,
+                _status_of(exc) if isinstance(exc, ValidationError) else 500,
+                {"error": type(exc).__name__, "message": str(exc)},
+                keep_alive=keep_alive,
+            )
+            return
+        await self._respond(writer, 200, result, keep_alive=keep_alive)
 
     async def _relay(
         self,

@@ -285,6 +285,84 @@ class TestSolutionRoundTripCLI:
         assert "does not support --k" in capsys.readouterr().err
 
 
+class TestRefitCommand:
+    """refit: warm incremental re-pricing of a saved menu across a delta."""
+
+    def test_refit_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.data.loaders import save_wtp_npz
+        from repro.data.synthetic import amazon_books_like
+        from repro.data.wtp_mapping import wtp_from_ratings
+
+        solution = tmp_path / "menu.json"
+        assert main(["bundle", "--algorithm", "mixed_greedy", "--users", "80",
+                     "--items", "12", "--seed", "1",
+                     "--save-solution", str(solution)]) == 0
+        capsys.readouterr()
+        # The same population the bundle command fitted on, as an .npz.
+        dataset = amazon_books_like(n_users=80, n_items=12, seed=1)
+        wtp = wtp_from_ratings(dataset)
+        population = tmp_path / "population.npz"
+        save_wtp_npz(wtp, population)
+        delta_path = tmp_path / "delta.json"
+        added = (wtp.values[:3] * 1.05).tolist()
+        delta_path.write_text(
+            json.dumps({"removed": [0, 5, 11, 40], "added": added})
+        )
+        refitted = tmp_path / "menu2.json"
+        new_population = tmp_path / "population2.npz"
+        code = main(["refit", "--solution", str(solution),
+                     "--wtp", str(population), "--delta", str(delta_path),
+                     "--drift-threshold", "1e6",
+                     "--save-solution", str(refitted),
+                     "--save-population", str(new_population)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "refit mode: warm" in out
+        assert "delta: +3 users, -4 users -> 79 users" in out
+        assert f"solution saved to {refitted}" in out
+        assert f"post-delta population saved to {new_population}" in out
+        # The refitted artifact re-loads and carries the refit provenance.
+        from repro.api.solution import BundlingSolution
+
+        reloaded = BundlingSolution.load(refitted)
+        assert reloaded.fingerprint() != BundlingSolution.load(solution).fingerprint()
+        from repro.data.loaders import load_wtp_npz
+
+        assert load_wtp_npz(new_population).n_users == 79
+
+    def test_refit_missing_solution_is_a_cli_error(self, tmp_path, capsys):
+        assert main(["refit", "--solution", str(tmp_path / "nope.json"),
+                     "--wtp", str(tmp_path / "nope.npz"),
+                     "--delta", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load solution" in capsys.readouterr().err
+
+    def test_refit_bad_delta_is_a_cli_error(self, tmp_path, capsys):
+        import json
+
+        from repro.data.loaders import save_wtp_npz
+        from repro.data.synthetic import amazon_books_like
+        from repro.data.wtp_mapping import wtp_from_ratings
+
+        solution = tmp_path / "menu.json"
+        assert main(["bundle", "--algorithm", "components", "--users", "60",
+                     "--items", "12", "--seed", "3",
+                     "--save-solution", str(solution)]) == 0
+        capsys.readouterr()
+        population = tmp_path / "population.npz"
+        save_wtp_npz(
+            wtp_from_ratings(amazon_books_like(n_users=60, n_items=12, seed=3)),
+            population,
+        )
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(json.dumps({"bogus": True}))
+        assert main(["refit", "--solution", str(solution),
+                     "--wtp", str(population),
+                     "--delta", str(delta_path)]) == 2
+        assert "cannot load delta" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0

@@ -965,3 +965,149 @@ class TestGracefulSigterm:
                 proc.wait()
 
         assert returncode == 143
+
+
+# ==================================================== incremental refit HTTP
+def _churn_delta(wtp, n_removed=6, n_added=4, seed=11):
+    """A small deterministic churn event on *wtp*'s population."""
+    from repro.api import PopulationDelta
+
+    rng = np.random.default_rng(seed)
+    removed = rng.choice(wtp.n_users, size=n_removed, replace=False)
+    donors = rng.choice(wtp.n_users, size=n_added, replace=False)
+    added = wtp.values[donors] * rng.uniform(0.85, 1.15, size=(n_added, 1))
+    return PopulationDelta(added=added, removed=tuple(int(i) for i in removed))
+
+
+class TestRefitEndpoint:
+    def test_refit_over_http_warm_and_compounding(self, mixed_solution, small_wtp):
+        """POST /refit warm-refits the serving menu and advances the
+        in-memory population, bit-identically to BundlingSolver.refit."""
+        delta = _churn_delta(small_wtp)
+        rows = [[2.0] * mixed_solution.n_items, [0.5] * mixed_solution.n_items]
+
+        async def main():
+            server = QuoteServer(
+                mixed_solution, batch_window=0.005, population=small_wtp
+            )
+            host, port = await server.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                refitted = await _http(
+                    reader, writer, "POST", "/refit",
+                    {"delta": delta.to_dict(), "drift_threshold": 1e6},
+                )
+                quote = await _http(reader, writer, "POST", "/quote", {"rows": rows})
+                health = await _http(reader, writer, "GET", "/healthz")
+                return refitted, quote, health
+            finally:
+                writer.close()
+                await server.stop()
+
+        refitted, quote, health = asyncio.run(main())
+        # The same refit, cold, through the solver API directly.
+        solver = BundlingSolver(
+            mixed_solution.algorithm_spec, mixed_solution.engine_config
+        )
+        report = solver.refit(
+            mixed_solution, small_wtp, delta, drift_threshold=1e6
+        )
+        assert refitted[0] == 200
+        assert refitted[2]["mode"] == "warm"
+        assert refitted[2]["previous_fingerprint"] == mixed_solution.fingerprint()
+        assert refitted[2]["fingerprint"] == report.solution.fingerprint()
+        assert refitted[2]["n_users"] == small_wtp.n_users - 6 + 4
+        assert refitted[2]["expected_revenue"] == report.solution.expected_revenue
+        # Quotes after the swap are stamped with, and priced by, the new menu.
+        assert quote[0] == 200
+        assert quote[2]["fingerprint"] == report.solution.fingerprint()
+        served = np.array([float.fromhex(h) for h in quote[2]["payments_hex"]])
+        cold = report.solution.quote(np.asarray(rows))
+        assert np.array_equal(served, np.asarray(cold.payments, dtype=np.float64))
+        assert health[2]["counters"]["refits"] == 1
+        assert health[2]["population"] == {"n_users": small_wtp.n_users - 6 + 4}
+
+    def test_refit_without_population_is_400(self, mixed_solution, small_wtp):
+        delta = _churn_delta(small_wtp)
+
+        async def main():
+            server = QuoteServer(mixed_solution)  # no population=
+            host, port = await server.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                refused = await _http(
+                    reader, writer, "POST", "/refit", {"delta": delta.to_dict()}
+                )
+                health = await _http(reader, writer, "GET", "/healthz")
+                return refused, health
+            finally:
+                writer.close()
+                await server.stop()
+
+        refused, health = asyncio.run(main())
+        assert refused[0] == 400
+        assert refused[2]["error"] == "ValidationError"
+        assert "population" in refused[2]["message"]
+        assert health[2]["counters"]["refit_failures"] == 1
+        assert "population" in health[2]["last_refit_error"]
+
+    def test_refit_missing_delta_field_is_400(self, mixed_solution, small_wtp):
+        async def main():
+            server = QuoteServer(mixed_solution, population=small_wtp)
+            host, port = await server.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                return await _http(reader, writer, "POST", "/refit", {})
+            finally:
+                writer.close()
+                await server.stop()
+
+        refused = asyncio.run(main())
+        assert refused[0] == 400
+        assert refused[2]["error"] == "ValidationError"
+        assert '"delta"' in refused[2]["message"]
+
+    def test_concurrent_refit_conflicts_with_409(
+        self, mixed_solution, small_wtp, monkeypatch
+    ):
+        """A refit holds the reload lock: the loser gets a typed 409, and
+        the winner's swap is unaffected."""
+        import time as time_module
+
+        delta = _churn_delta(small_wtp)
+        real_offline = QuoteServer._refit_offline
+
+        def slow_offline(self, delta, drift_threshold):
+            time_module.sleep(0.5)  # runs in the refit executor thread
+            return real_offline(self, delta, drift_threshold)
+
+        monkeypatch.setattr(QuoteServer, "_refit_offline", slow_offline)
+
+        async def main():
+            server = QuoteServer(mixed_solution, population=small_wtp)
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                r1, w1 = await asyncio.open_connection(host, port)
+                r2, w2 = await asyncio.open_connection(host, port)
+                first = asyncio.create_task(
+                    _http(
+                        r1, w1, "POST", "/refit",
+                        {"delta": delta.to_dict(), "drift_threshold": 1e6},
+                    )
+                )
+                await asyncio.sleep(0.1)  # the first refit holds the lock
+                conflict = await _http(
+                    r2, w2, "POST", "/refit", {"delta": delta.to_dict()}
+                )
+                winner = await first
+                w1.close()
+                w2.close()
+                return winner, conflict
+            finally:
+                await server.stop()
+
+        winner, conflict = asyncio.run(main())
+        assert winner[0] == 200 and winner[2]["mode"] == "warm"
+        assert conflict[0] == 409
+        assert conflict[2]["error"] == "ReloadConflictError"
+        assert conflict[2]["in_flight_path"] == "refit"

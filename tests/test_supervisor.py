@@ -567,3 +567,156 @@ class TestFleetObservability:
         worker_keys = [k for k in quotes if 'worker="' in k]
         assert worker_keys
         assert sum(quotes[k] for k in worker_keys) >= 3.0
+
+
+# ===================================================== incremental refit
+def _fleet_delta(wtp, n_removed=6, n_added=4, seed=11):
+    """A small deterministic churn event on *wtp*'s population."""
+    from repro.api import PopulationDelta
+
+    rng = np.random.default_rng(seed)
+    removed = rng.choice(wtp.n_users, size=n_removed, replace=False)
+    donors = rng.choice(wtp.n_users, size=n_added, replace=False)
+    added = wtp.values[donors] * rng.uniform(0.85, 1.15, size=(n_added, 1))
+    return PopulationDelta(added=added, removed=tuple(int(i) for i in removed))
+
+
+class TestFleetRefit:
+    def test_refit_rotates_fleet_to_refitted_menu(
+        self, fleet_solutions, request_blocks, small_wtp, tmp_path
+    ):
+        """POST /refit warm-refits off-loop, persists the artifact, and
+        rolls every worker onto the refitted fingerprint."""
+        first, _, first_path, _ = fleet_solutions
+        delta = _fleet_delta(small_wtp)
+        rows = request_blocks[1]
+        population_path = tmp_path / "population.npz"
+        small_wtp.save_npz(population_path)
+
+        async def main():
+            fleet = ServingSupervisor(
+                first_path, workers=2, population=str(population_path)
+            )
+            host, port = await fleet.start("127.0.0.1", 0)
+            try:
+                refitted = await _request(
+                    host, port, "POST", "/refit",
+                    {"delta": delta.to_dict(), "drift_threshold": 1e6},
+                )
+                quotes = [
+                    await _request(
+                        host, port, "POST", "/quote", {"rows": rows.tolist()}
+                    )
+                    for _ in range(4)
+                ]
+                return refitted, quotes, fleet.health()
+            finally:
+                await fleet.stop()
+
+        refitted, quotes, health = asyncio.run(main())
+        # The same refit, cold, through the solver API directly.
+        report = BundlingSolver(first.algorithm_spec, first.engine_config).refit(
+            first, small_wtp, delta, drift_threshold=1e6
+        )
+        new_fp = report.solution.fingerprint()
+        assert refitted[0] == 200
+        assert refitted[2]["mode"] == "warm"
+        assert refitted[2]["previous_fingerprint"] == first.fingerprint()
+        assert refitted[2]["fingerprint"] == new_fp
+        assert refitted[2]["n_users"] == small_wtp.n_users - 6 + 4
+        # The refitted artifact is persisted next to the base solution and
+        # reproduces the fingerprint on load.
+        artifact = Path(refitted[2]["path"])
+        assert artifact.name == Path(first_path).name + ".refit1.json"
+        from repro.api.solution import BundlingSolution
+
+        assert BundlingSolution.load(artifact).fingerprint() == new_fp
+        cold = report.solution.quote(rows)
+        for status, headers, payload in quotes:
+            assert status == 200
+            assert headers["x-solution-fingerprint"] == new_fp
+            _assert_payload_identical(payload, cold)
+        assert health["fingerprint"] == new_fp
+        assert health["counters"]["refits"] == 1
+        assert health["counters"]["refit_failures"] == 0
+
+    def test_worker_sigkill_mid_refit_converges_to_one_fingerprint(
+        self, fleet_solutions, request_blocks, small_wtp, tmp_path, monkeypatch
+    ):
+        """SIGKILL a worker mid-/refit rotation: the rollback restores the
+        old menu, the dead slot respawns onto it, and once the fleet is
+        whole again every quote carries exactly one fingerprint."""
+        import os
+        import signal as signal_module
+
+        first, _, first_path, _ = fleet_solutions
+        delta = _fleet_delta(small_wtp)
+        rows = request_blocks[2]
+        old_fp = first.fingerprint()
+        cold = first.quote(rows)
+        population_path = tmp_path / "population.npz"
+        small_wtp.save_npz(population_path)
+
+        real_rotate = ServingSupervisor._rotate_worker
+        killed = []
+
+        async def killer_rotate(self, handle, path, blocks, expected):
+            if not killed:
+                killed.append(handle.process.pid)
+                os.kill(handle.process.pid, signal_module.SIGKILL)
+            return await real_rotate(self, handle, path, blocks, expected)
+
+        monkeypatch.setattr(ServingSupervisor, "_rotate_worker", killer_rotate)
+
+        async def main():
+            fleet = ServingSupervisor(
+                first_path, workers=2, population=str(population_path),
+                heartbeat_interval=0.1,
+            )
+            host, port = await fleet.start("127.0.0.1", 0)
+            try:
+                refitted = await _request(
+                    host, port, "POST", "/refit",
+                    {"delta": delta.to_dict(), "drift_threshold": 1e6},
+                )
+                # Wait until the killed slot has respawned and the fleet is
+                # whole again (every slot ready).
+                deadline = asyncio.get_running_loop().time() + 30.0
+                while not all(h.phase == "ready" for h in fleet.handles):
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise AssertionError(
+                            f"fleet never reconverged: "
+                            f"{[h.phase for h in fleet.handles]}"
+                        )
+                    await asyncio.sleep(0.05)
+                quotes = [
+                    await _request(
+                        host, port, "POST", "/quote", {"rows": rows.tolist()}
+                    )
+                    for _ in range(6)
+                ]
+                return refitted, quotes, fleet.health()
+            finally:
+                await fleet.stop()
+
+        refitted, quotes, health = asyncio.run(main())
+        assert killed, "the fault hook must have killed a worker"
+        # The refit fails as a typed error, never a partial swap.
+        assert refitted[0] == 500
+        assert refitted[2]["error"] == "ReloadError"
+        assert "previous menu restored" in refitted[2]["message"]
+        # Convergence: one fingerprint — the old one — everywhere.  Six
+        # round-robined quotes cover both slots, including the respawn.
+        for status, headers, payload in quotes:
+            assert status == 200
+            assert headers["x-solution-fingerprint"] == old_fp
+            assert payload["fingerprint"] == old_fp
+            _assert_payload_identical(payload, cold)
+        assert health["fingerprint"] == old_fp
+        for worker in health["workers"]:
+            assert worker["fingerprint"] == old_fp
+        assert health["counters"]["refits"] == 0
+        assert health["counters"]["refit_failures"] == 1
+        assert health["counters"]["respawns"] >= 1
+        # The population never advanced past the failed delta.
+        assert health["counters"]["reload_failures"] >= 1
